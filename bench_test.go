@@ -1,0 +1,191 @@
+package rofl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rofl"
+)
+
+// benchConfig sizes the figure drivers for benchmarking: large enough
+// that the measured work is the experiment itself, small enough that a
+// full -bench=. run completes in minutes.
+func benchConfig() rofl.ExperimentConfig {
+	cfg := rofl.QuickExperimentConfig()
+	cfg.HostsPerISP = 120
+	cfg.Pairs = 150
+	cfg.InterHosts = 240
+	return cfg
+}
+
+// runFigure wraps one experiment driver as a benchmark and reports the
+// driver's headline number as a custom metric where it has one.
+func runFigure(b *testing.B, id string) {
+	r, ok := rofl.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := r.Run(cfg)
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ---------------------------------
+
+// BenchmarkFig5aJoinOverhead regenerates Fig 5a: intradomain cumulative
+// join overhead vs IDs, against the CMU-ETHERNET baseline.
+func BenchmarkFig5aJoinOverhead(b *testing.B) { runFigure(b, "fig5a") }
+
+// BenchmarkFig5bJoinCDF regenerates Fig 5b: per-host join overhead CDF.
+func BenchmarkFig5bJoinCDF(b *testing.B) { runFigure(b, "fig5b") }
+
+// BenchmarkFig5cJoinLatency regenerates Fig 5c: join latency CDF.
+func BenchmarkFig5cJoinLatency(b *testing.B) { runFigure(b, "fig5c") }
+
+// BenchmarkFig6aStretch regenerates Fig 6a: stretch vs pointer-cache
+// size.
+func BenchmarkFig6aStretch(b *testing.B) { runFigure(b, "fig6a") }
+
+// BenchmarkFig6bLoad regenerates Fig 6b: per-router load vs OSPF.
+func BenchmarkFig6bLoad(b *testing.B) { runFigure(b, "fig6b") }
+
+// BenchmarkFig6cMemory regenerates Fig 6c: per-router memory vs IDs.
+func BenchmarkFig6cMemory(b *testing.B) { runFigure(b, "fig6c") }
+
+// BenchmarkFig7Partition regenerates Fig 7: partition repair overhead.
+func BenchmarkFig7Partition(b *testing.B) { runFigure(b, "fig7") }
+
+// BenchmarkFig8aJoinStrategies regenerates Fig 8a: interdomain join
+// overhead by strategy.
+func BenchmarkFig8aJoinStrategies(b *testing.B) { runFigure(b, "fig8a") }
+
+// BenchmarkFig8bStretch regenerates Fig 8b: interdomain stretch by
+// finger budget against the BGP baseline.
+func BenchmarkFig8bStretch(b *testing.B) { runFigure(b, "fig8b") }
+
+// BenchmarkFig8cCaching regenerates Fig 8c: interdomain stretch vs
+// per-AS pointer caches.
+func BenchmarkFig8cCaching(b *testing.B) { runFigure(b, "fig8c") }
+
+// BenchmarkStubFailure regenerates the §6.3 stub-AS failure experiment.
+func BenchmarkStubFailure(b *testing.B) { runFigure(b, "stubfail") }
+
+// BenchmarkBloomPeering regenerates the §6.4 peering-mechanism
+// comparison.
+func BenchmarkBloomPeering(b *testing.B) { runFigure(b, "bloompeering") }
+
+// BenchmarkAblations runs the design-choice ablations DESIGN.md lists.
+func BenchmarkAblations(b *testing.B) { runFigure(b, "ablation") }
+
+// BenchmarkExtensions quantifies the §5 delivery and negotiation
+// extensions.
+func BenchmarkExtensions(b *testing.B) { runFigure(b, "extensions") }
+
+// BenchmarkChurn measures per-event control cost under sustained churn
+// (§6.2).
+func BenchmarkChurn(b *testing.B) { runFigure(b, "churn") }
+
+// BenchmarkMsgSizes measures join-message sizes vs finger count (§6.3).
+func BenchmarkMsgSizes(b *testing.B) { runFigure(b, "msgsizes") }
+
+// BenchmarkComposite runs the two-level system end to end.
+func BenchmarkComposite(b *testing.B) { runFigure(b, "composite") }
+
+// --- Protocol micro-benchmarks --------------------------------------------
+
+// BenchmarkIntraJoin measures one intradomain host join on the paper's
+// AS 1221 topology with warm caches.
+func BenchmarkIntraJoin(b *testing.B) {
+	isp := rofl.GenISP(rofl.AS1221())
+	net := rofl.NewNetwork(isp.Graph, rofl.NewMetrics(), rofl.DefaultNetworkOptions())
+	for i := 0; i < 500; i++ {
+		if _, err := net.JoinHost(rofl.IDFromString(fmt.Sprintf("warm-%d", i)), isp.Access[i%len(isp.Access)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := rofl.IDFromString(fmt.Sprintf("bench-%d", i))
+		if _, err := net.JoinHost(id, isp.Access[i%len(isp.Access)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntraRoute measures one intradomain data-packet route with
+// warm caches.
+func BenchmarkIntraRoute(b *testing.B) {
+	isp := rofl.GenISP(rofl.AS1221())
+	net := rofl.NewNetwork(isp.Graph, rofl.NewMetrics(), rofl.DefaultNetworkOptions())
+	var ids []rofl.ID
+	for i := 0; i < 500; i++ {
+		id := rofl.IDFromString(fmt.Sprintf("h-%d", i))
+		if _, err := net.JoinHost(id, isp.Access[i%len(isp.Access)]); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Route(isp.Access[rng.Intn(len(isp.Access))], ids[rng.Intn(len(ids))]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterJoinMultihomed measures one recursively multihomed
+// interdomain join.
+func BenchmarkInterJoinMultihomed(b *testing.B) {
+	gen := rofl.DefaultASGen()
+	gen.Hosts = 1000
+	g := rofl.GenAS(gen)
+	in := rofl.NewInternet(g, rofl.NewMetrics(), rofl.DefaultInternetOptions())
+	stubs := g.Stubs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := rofl.IDFromString(fmt.Sprintf("bj-%d", i))
+		if _, err := in.Join(id, stubs[i%len(stubs)], rofl.Multihomed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterRoute measures one interdomain route over a populated
+// hierarchy.
+func BenchmarkInterRoute(b *testing.B) {
+	gen := rofl.DefaultASGen()
+	gen.Hosts = 1000
+	g := rofl.GenAS(gen)
+	in := rofl.NewInternet(g, rofl.NewMetrics(), rofl.DefaultInternetOptions())
+	stubs := g.Stubs()
+	var ids []rofl.ID
+	for i := 0; i < 400; i++ {
+		id := rofl.IDFromString(fmt.Sprintf("br-%d", i))
+		if _, err := in.Join(id, stubs[i%len(stubs)], rofl.Multihomed); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		if src == dst {
+			continue
+		}
+		if _, err := in.Route(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command roflnode runs one ROFL overlay node over UDP, speaking the
+// binary wire format of internal/wire. Start a bootstrap node, then join
+// others to it and exchange messages by flat label — a tiny live
+// deployment of the protocol the simulator measures.
+//
+// Usage:
+//
+//	roflnode -name alice -listen 127.0.0.1:7001
+//	roflnode -name bob   -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//
+// Interactive commands on stdin:
+//
+//	send <name> <message...>   greedy-route a message to the label of <name>
+//	ring                       print this node's ring pointers
+//	id                         print this node's label
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rofl"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "node name (label = hash of name); required")
+		listen = flag.String("listen", "127.0.0.1:0", "UDP bind address")
+		join   = flag.String("join", "", "address of an existing node to join through")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "roflnode: -name is required")
+		os.Exit(2)
+	}
+
+	id := rofl.IDFromString(*name)
+	node, err := rofl.NewOverlayNode(id, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roflnode: %v\n", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+
+	if *join == "" {
+		node.Bootstrap()
+		fmt.Printf("bootstrapped ring; label %s at %s\n", id.Short(), node.Addr())
+	} else {
+		if err := node.Join(*join, 5*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "roflnode: join: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("joined via %s; label %s at %s\n", *join, id.Short(), node.Addr())
+	}
+
+	// Print deliveries as they arrive.
+	go func() {
+		for d := range node.Deliveries() {
+			fmt.Printf("\n[recv %s…] %s\n> ", d.Src.String()[:8], d.Payload)
+		}
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		switch {
+		case len(fields) == 0:
+		case fields[0] == "quit":
+			return
+		case fields[0] == "id":
+			fmt.Printf("%s (%s)\n", id, node.Addr())
+		case fields[0] == "ring":
+			for _, line := range node.Ring() {
+				fmt.Println(" ", line)
+			}
+		case fields[0] == "send" && len(fields) >= 3:
+			dst := rofl.IDFromString(fields[1])
+			msg := strings.Join(fields[2:], " ")
+			if err := node.Send(dst, []byte(msg)); err != nil {
+				fmt.Printf("send failed: %v\n", err)
+			}
+		default:
+			fmt.Println("commands: send <name> <msg...> | ring | id | quit")
+		}
+		fmt.Print("> ")
+	}
+}

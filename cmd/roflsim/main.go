@@ -1,0 +1,88 @@
+// Command roflsim regenerates the tables and figures of the ROFL paper's
+// evaluation section (§6) from the simulators in this repository.
+//
+// Usage:
+//
+//	roflsim -list                 # list every experiment
+//	roflsim -fig fig6a            # run one figure at full scale
+//	roflsim -all -quick           # run everything at smoke-test scale
+//	roflsim -fig fig8b -csv       # emit CSV instead of an aligned table
+//
+// Scale knobs (-hosts, -pairs, -interhosts, -seed) override the chosen
+// preset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rofl"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list experiments and exit")
+		fig        = flag.String("fig", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "smoke-test scale instead of full scale")
+		csv        = flag.Bool("csv", false, "emit CSV")
+		hosts      = flag.Int("hosts", 0, "override hosts per ISP")
+		pairs      = flag.Int("pairs", 0, "override data-plane probe pairs")
+		interhosts = flag.Int("interhosts", 0, "override interdomain hosts")
+		seed       = flag.Int64("seed", 0, "override RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range rofl.Experiments() {
+			fmt.Printf("%-14s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := rofl.DefaultExperimentConfig()
+	if *quick {
+		cfg = rofl.QuickExperimentConfig()
+	}
+	if *hosts > 0 {
+		cfg.HostsPerISP = *hosts
+	}
+	if *pairs > 0 {
+		cfg.Pairs = *pairs
+	}
+	if *interhosts > 0 {
+		cfg.InterHosts = *interhosts
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var runners []rofl.Experiment
+	switch {
+	case *all:
+		runners = rofl.Experiments()
+	case *fig != "":
+		r, ok := rofl.ExperimentByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "roflsim: unknown experiment %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		runners = []rofl.Experiment{r}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		tab := r.Run(cfg)
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Print(tab.String())
+			fmt.Printf("(%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+		}
+	}
+}

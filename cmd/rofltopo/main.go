@@ -1,0 +1,125 @@
+// Command rofltopo generates and inspects the topologies under the ROFL
+// evaluation: the Rocketfuel-like ISP graphs and the Internet-like AS
+// hierarchy.
+//
+// Usage:
+//
+//	rofltopo -isp AS1221          # summarize one evaluation ISP
+//	rofltopo -isp all             # summarize all four
+//	rofltopo -as                  # summarize the AS-level topology
+//	rofltopo -as -asn 100         # also print one AS's relationships
+//	rofltopo -cch file.cch        # summarize a real Rocketfuel map
+//	rofltopo -rel file.txt        # summarize a CAIDA as1|as2|rel file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rofl"
+)
+
+func main() {
+	var (
+		ispName = flag.String("isp", "", "ISP to summarize: AS1221, AS1239, AS3257, AS3967 or all")
+		asGraph = flag.Bool("as", false, "summarize the Internet-like AS graph")
+		asn     = flag.Int("asn", -1, "with -as: detail one AS")
+		seed    = flag.Int64("seed", 0, "override generator seed")
+		cch     = flag.String("cch", "", "summarize a real Rocketfuel .cch map from this file")
+		rel     = flag.String("rel", "", "summarize a CAIDA as1|as2|rel relationship file")
+	)
+	flag.Parse()
+
+	switch {
+	case *cch != "":
+		f, err := os.Open(*cch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rofltopo: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		isp, err := rofl.ParseRocketfuel(f, *cch, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rofltopo: %v\n", err)
+			os.Exit(1)
+		}
+		g := isp.Graph
+		fmt.Printf("%s: %d routers (%d backbone, %d access), %d links, diameter ~%d hops\n",
+			*cch, g.NumNodes(), len(isp.Backbone), len(isp.Access), g.NumEdges(),
+			g.DiameterHops(30, rand.New(rand.NewSource(1))))
+	case *rel != "":
+		f, err := os.Open(*rel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rofltopo: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		g, index, err := rofl.ParseASRelationships(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rofltopo: %v\n", err)
+			os.Exit(1)
+		}
+		tiers := map[int]int{}
+		for _, dense := range index {
+			tiers[g.Tier(dense)]++
+		}
+		fmt.Printf("%s: %d ASes (tier1 %d, tier2 %d, stubs %d)\n",
+			*rel, g.NumASes(), tiers[1], tiers[2], tiers[3])
+	case *ispName != "":
+		for _, cfg := range rofl.EvalISPs() {
+			if *ispName != "all" && cfg.Name != *ispName {
+				continue
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			summarizeISP(cfg)
+		}
+	case *asGraph:
+		gen := rofl.DefaultASGen()
+		if *seed != 0 {
+			gen.Seed = *seed
+		}
+		summarizeAS(gen, *asn)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summarizeISP(cfg rofl.ISPConfig) {
+	isp := rofl.GenISP(cfg)
+	g := isp.Graph
+	diam := g.DiameterHops(30, rand.New(rand.NewSource(1)))
+	maxHosts := 0
+	for _, h := range isp.HostsAt {
+		if h > maxHosts {
+			maxHosts = h
+		}
+	}
+	fmt.Printf("%s: %d routers (%d backbone, %d access), %d links, %d PoPs, diameter ~%d hops, %d hosts (max %d at one access router)\n",
+		cfg.Name, g.NumNodes(), len(isp.Backbone), len(isp.Access), g.NumEdges(), cfg.PoPs, diam, cfg.Hosts, maxHosts)
+}
+
+func summarizeAS(gen rofl.ASGenConfig, detail int) {
+	g := rofl.GenAS(gen)
+	tiers := map[int]int{}
+	links := 0
+	for a := 0; a < g.NumASes(); a++ {
+		tiers[g.Tier(rofl.ASN(a))]++
+		links += len(g.Neighbors(rofl.ASN(a)))
+	}
+	fmt.Printf("AS graph: %d ASes (tier1 %d, tier2 %d, stubs %d), %d adjacencies, %d hosts\n",
+		g.NumASes(), tiers[1], tiers[2], tiers[3], links/2, gen.Hosts)
+	if detail >= 0 && detail < g.NumASes() {
+		a := rofl.ASN(detail)
+		fmt.Printf("AS %d (tier %d, %d hosts):\n", detail, g.Tier(a), g.Hosts(a))
+		fmt.Printf("  providers: %v\n", g.Providers(a))
+		fmt.Printf("  customers: %v\n", g.Customers(a))
+		fmt.Printf("  peers:     %v\n", g.Peers(a))
+		levels := g.UpHierarchyLevels(a, false)
+		fmt.Printf("  up-hierarchy: %d levels, %d ASes\n", len(levels), len(g.UpHierarchy(a, false)))
+	}
+}

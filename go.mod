@@ -1,0 +1,3 @@
+module rofl
+
+go 1.24

@@ -1,0 +1,155 @@
+package bgppolicy
+
+import (
+	"testing"
+
+	"rofl/internal/topology"
+)
+
+// diamond builds:
+//
+//	0  (tier1) --- peer --- 1 (tier1)
+//	|                       |
+//	2  (tier2)              3 (tier2)
+//	|                       |
+//	4  (stub)               5 (stub)
+func diamond() *topology.ASGraph {
+	g := topology.NewASGraph(6)
+	g.SetRelation(0, 1, topology.RelPeer)
+	g.SetRelation(2, 0, topology.RelProvider)
+	g.SetRelation(3, 1, topology.RelProvider)
+	g.SetRelation(4, 2, topology.RelProvider)
+	g.SetRelation(5, 3, topology.RelProvider)
+	return g
+}
+
+func TestPathAcrossPeering(t *testing.T) {
+	tbl := New(diamond())
+	p := tbl.Path(4, 5, nil)
+	want := []topology.ASN{4, 2, 0, 1, 3, 5}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v want %v", p, want)
+		}
+	}
+	if tbl.Hops(4, 5, nil) != 5 {
+		t.Fatalf("hops = %d", tbl.Hops(4, 5, nil))
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	tbl := New(diamond())
+	if p := tbl.Path(4, 4, nil); len(p) != 1 || p[0] != 4 {
+		t.Fatalf("self path = %v", p)
+	}
+	if tbl.Hops(4, 4, nil) != 0 {
+		t.Fatal("self hops must be 0")
+	}
+}
+
+func TestValleyFreeRejected(t *testing.T) {
+	// 0 and 1 are both providers of 2; 3 is a customer of 1 only. A path
+	// 0 -> 2 -> 1 -> 3 would be a valley (down then up); the only legal
+	// route from a customer of 0 to 3 is via the 0-1 peering if present.
+	g := topology.NewASGraph(4)
+	g.SetRelation(2, 0, topology.RelProvider)
+	g.SetRelation(2, 1, topology.RelProvider)
+	g.SetRelation(3, 1, topology.RelProvider)
+	tbl := New(g)
+	// From 0 to 3: descending to 2 then ascending to 1 is a valley. With
+	// no peering between 0 and 1, there must be no path.
+	if p := tbl.Path(0, 3, nil); p != nil {
+		t.Fatalf("valley path accepted: %v", p)
+	}
+	// Multihomed customer 2 can still reach 3 by ascending via 1.
+	p := tbl.Path(2, 3, nil)
+	if len(p) != 3 || p[1] != 1 {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+func TestSinglePeerCrossing(t *testing.T) {
+	// Two peer links in sequence must not be usable: 0 -peer- 1 -peer- 2.
+	g := topology.NewASGraph(4)
+	g.SetRelation(0, 1, topology.RelPeer)
+	g.SetRelation(1, 2, topology.RelPeer)
+	g.SetRelation(3, 0, topology.RelProvider)
+	tbl := New(g)
+	if p := tbl.Path(3, 2, nil); p != nil {
+		t.Fatalf("double-peer path accepted: %v", p)
+	}
+	if p := tbl.Path(3, 1, nil); p == nil {
+		t.Fatal("single-peer path should work")
+	}
+}
+
+func TestLinkFilter(t *testing.T) {
+	tbl := New(diamond())
+	down := func(a, b topology.ASN) bool {
+		return !(a == 0 && b == 1) && !(a == 1 && b == 0)
+	}
+	if p := tbl.Path(4, 5, down); p != nil {
+		t.Fatalf("path should vanish when the peering link fails: %v", p)
+	}
+}
+
+func TestBackupLinksAscend(t *testing.T) {
+	g := topology.NewASGraph(3)
+	g.SetRelation(1, 0, topology.RelBackup)
+	g.SetRelation(2, 0, topology.RelProvider)
+	tbl := New(g)
+	// BGP-level baseline treats an (active) backup link like a provider
+	// link for reachability purposes.
+	if p := tbl.Path(1, 2, nil); p == nil {
+		t.Fatal("backup ascent should be usable in the baseline")
+	}
+}
+
+func TestShortestPreferred(t *testing.T) {
+	// Two ascents: via provider chain of length 2 or direct provider.
+	g := topology.NewASGraph(4)
+	g.SetRelation(3, 2, topology.RelProvider) // 3 -> 2
+	g.SetRelation(2, 0, topology.RelProvider) // 2 -> 0
+	g.SetRelation(3, 0, topology.RelProvider) // 3 -> 0 direct
+	g.SetRelation(1, 0, topology.RelProvider) // 1 -> 0
+	tbl := New(g)
+	p := tbl.Path(3, 1, nil)
+	if len(p) != 3 { // 3 -> 0 -> 1
+		t.Fatalf("path = %v, want direct ascent", p)
+	}
+}
+
+func TestGeneratedGraphMostlyConnected(t *testing.T) {
+	g := topology.GenAS(topology.DefaultASGen())
+	tbl := New(g)
+	stubs := g.Stubs()
+	missing := 0
+	const probes = 200
+	for i := 0; i < probes; i++ {
+		a := stubs[i%len(stubs)]
+		b := stubs[(i*7+3)%len(stubs)]
+		if a == b {
+			continue
+		}
+		if tbl.Hops(a, b, nil) < 0 {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d stub pairs unroutable under policy", missing)
+	}
+}
+
+func BenchmarkBGPPath(b *testing.B) {
+	g := topology.GenAS(topology.DefaultASGen())
+	tbl := New(g)
+	stubs := g.Stubs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Path(stubs[i%len(stubs)], stubs[(i*13+7)%len(stubs)], nil)
+	}
+}

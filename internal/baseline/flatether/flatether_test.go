@@ -1,0 +1,77 @@
+package flatether
+
+import (
+	"errors"
+	"testing"
+
+	"rofl/internal/ident"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+func testNet(t *testing.T) (*Network, *topology.ISP) {
+	t.Helper()
+	isp := topology.GenISP(topology.ISPConfig{
+		Name: "t", Routers: 40, PoPs: 6, BackbonePerPoP: 2, PoPDegree: 2,
+		IntraPoPDelay: 0.5, InterPoPDelay: 5, Hosts: 100, ZipfS: 1.2, Seed: 7,
+	})
+	return New(isp.Graph, sim.NewMetrics()), isp
+}
+
+func TestJoinFloodsEverything(t *testing.T) {
+	n, isp := testNet(t)
+	msgs, err := n.JoinHost(ident.FromString("h"), isp.Access[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs != 2*isp.Graph.NumEdges() {
+		t.Fatalf("join msgs = %d want %d", msgs, 2*isp.Graph.NumEdges())
+	}
+	if n.Metrics.Counter(MsgJoin) != int64(msgs) {
+		t.Fatal("counter mismatch")
+	}
+	if _, err := n.JoinHost(ident.FromString("h"), isp.Access[1]); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup join: %v", err)
+	}
+}
+
+func TestRouteIsShortestPath(t *testing.T) {
+	n, isp := testNet(t)
+	id := ident.FromString("h")
+	at := isp.Access[5]
+	if _, err := n.JoinHost(id, at); err != nil {
+		t.Fatal(err)
+	}
+	from := isp.Backbone[0]
+	h, err := n.Route(from, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != n.LS.Hops(from, at) {
+		t.Fatalf("hops = %d want shortest %d", h, n.LS.Hops(from, at))
+	}
+	if _, err := n.Route(from, ident.FromString("ghost")); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown dst: %v", err)
+	}
+}
+
+func TestMemoryScalesWithHosts(t *testing.T) {
+	n, isp := testNet(t)
+	for i := 0; i < 50; i++ {
+		if _, err := n.JoinHost(ident.FromUint64(uint64(i+1)), isp.Access[i%len(isp.Access)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.MemoryEntriesPerRouter() != 50 || n.NumHosts() != 50 {
+		t.Fatalf("memory = %d hosts = %d", n.MemoryEntriesPerRouter(), n.NumHosts())
+	}
+	if _, err := n.LeaveHost(ident.FromUint64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n.MemoryEntriesPerRouter() != 49 {
+		t.Fatal("leave must shrink the table")
+	}
+	if _, err := n.LeaveHost(ident.FromUint64(1)); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("double leave: %v", err)
+	}
+}

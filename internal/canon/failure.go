@@ -1,0 +1,266 @@
+package canon
+
+import (
+	"fmt"
+	"sort"
+
+	"rofl/internal/ident"
+	"rofl/internal/topology"
+)
+
+// This file implements interdomain failure handling (§2.3, §4.1): AS
+// link failures shift traffic to surviving access links automatically
+// (pointer source routes are recomputed against the live policy graph),
+// and stub-AS failures tear down the dead identifiers and repair every
+// ring level they had joined — the §6.3 failure experiment.
+
+// FailASLink fails the adjacency between a and b. Multihomed ASes keep
+// routing through their other providers; backup links activate when all
+// primary links are down.
+func (in *Internet) FailASLink(a, b topology.ASN) {
+	in.failedLink[linkKey(a, b)] = true
+}
+
+// RestoreASLink restores a failed adjacency.
+func (in *Internet) RestoreASLink(a, b topology.ASN) {
+	delete(in.failedLink, linkKey(a, b))
+}
+
+// LinkFailed reports whether the adjacency is currently failed.
+func (in *Internet) LinkFailed(a, b topology.ASN) bool {
+	return in.failedLink[linkKey(a, b)]
+}
+
+// HostVirtual arranges for a provider AS to stand by as a virtual host
+// for an identifier (§4.1): if the identifier's own AS fails, the
+// provider takes over hosting and the identifier stays reachable. The
+// standby AS must be in the identifier's current up-hierarchy.
+func (in *Internet) HostVirtual(id ident.ID, provider topology.ASN) error {
+	at, ok := in.hostedAt[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownID, id.Short())
+	}
+	if !in.G.InUpHierarchy(at, provider, true) {
+		return fmt.Errorf("canon: AS %d is not a provider of %s's AS %d", provider, id.Short(), at)
+	}
+	in.virtualHosts[id] = provider
+	return nil
+}
+
+// FailAS crashes an AS: every identifier it hosted leaves all its rings,
+// with ring neighbors repaired level by level. The repair cost — charged
+// to MsgRepair — "roughly corresponds to the number of identifiers
+// hosted in the failed stub" (§6.3). Identifiers with a virtual-server
+// arrangement (§4.1, HostVirtual) migrate to their standby provider and
+// stay reachable; the rest are torn down. Returns the number of
+// identifiers removed.
+func (in *Internet) FailAS(a topology.ASN) int {
+	if in.failedAS[a] {
+		return 0
+	}
+	in.failedAS[a] = true
+	dead := in.ases[a].VNs
+	in.ases[a].VNs = make(map[ident.ID]*VNode)
+	ids := make([]ident.ID, 0, len(dead))
+	for id := range dead {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	var migrate []*VNode
+	for _, id := range ids {
+		delete(in.hostedAt, id)
+		in.unlink(dead[id], MsgRepair)
+		if standby, ok := in.virtualHosts[id]; ok && !in.failedAS[standby] {
+			vn := dead[id]
+			vn.AS = standby
+			migrate = append(migrate, vn)
+		}
+	}
+	// Caches everywhere purge pointers at the dead AS (driven by
+	// reachability change).
+	for _, as := range in.ases {
+		if as.Cache != nil {
+			as.Cache.RemoveAS(int(a))
+		}
+	}
+	// Fingers pointing at dead identifiers are dropped lazily at use;
+	// sweep them here to keep state tidy.
+	in.sweepFingers(a)
+	// Standby providers re-join the migrated identifiers from their own
+	// position in the hierarchy.
+	removed := len(ids) - len(migrate)
+	for _, vn := range migrate {
+		if _, err := in.Join(vn.ID, vn.AS, vn.Strategy); err != nil {
+			removed++ // migration failed; the identifier is gone after all
+		}
+	}
+	return removed
+}
+
+// Leave removes one identifier gracefully from every ring it joined.
+func (in *Internet) Leave(id ident.ID) error {
+	a, ok := in.hostedAt[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownID, id.Short())
+	}
+	vn := in.ases[a].VNs[id]
+	delete(in.ases[a].VNs, id)
+	delete(in.hostedAt, id)
+	in.unlink(vn, MsgTeardown)
+	for _, as := range in.ases {
+		if as.Cache != nil {
+			as.Cache.Remove(id)
+		}
+	}
+	in.sweepFingerID(id)
+	delete(in.virtualHosts, id)
+	return nil
+}
+
+// sweepFingerID drops finger entries pointing at one departed
+// identifier.
+func (in *Internet) sweepFingerID(id ident.ID) {
+	for _, as := range in.ases {
+		for _, vn := range as.VNs {
+			kept := vn.Fingers[:0]
+			for _, f := range vn.Fingers {
+				if f.ID == id {
+					continue
+				}
+				kept = append(kept, f)
+			}
+			vn.Fingers = kept
+		}
+	}
+}
+
+// unlink removes vn from every ring it joined, splicing the ring's
+// *current* neighbors together (not vn's possibly stale pointers — when
+// several co-hosted identifiers die together, an already-removed
+// neighbor's pointers would otherwise poison the splice) and charging
+// the per-level notification cost.
+func (in *Internet) unlink(vn *VNode, counter string) {
+	self := Ptr{ID: vn.ID, AS: vn.AS}
+	for root := range vn.SuccAt {
+		ring := in.rings[root]
+		i := sort.Search(len(ring), func(k int) bool { return !ring[k].ID.Less(vn.ID) })
+		if !(i < len(ring) && ring[i] == self) {
+			continue
+		}
+		ring = append(ring[:i], ring[i+1:]...)
+		in.rings[root] = ring
+		if len(ring) == 0 {
+			continue
+		}
+		n := len(ring)
+		pred := ring[(i-1+n)%n]
+		succ := ring[i%n]
+		if pvn := in.vnOf(pred.ID); pvn != nil {
+			pvn.SuccAt[root] = succ
+		}
+		if svn := in.vnOf(succ.ID); svn != nil {
+			svn.PredAt[root] = pred
+		}
+		if h := in.hopsWithin(root, pred.AS, succ.AS); h > 0 {
+			in.Metrics.Count(counter, int64(h))
+		} else {
+			in.Metrics.Count(counter, 1)
+		}
+	}
+}
+
+// sweepFingers drops finger entries pointing at identifiers hosted in a
+// dead AS.
+func (in *Internet) sweepFingers(deadAS topology.ASN) {
+	for _, as := range in.ases {
+		for _, vn := range as.VNs {
+			kept := vn.Fingers[:0]
+			for _, f := range vn.Fingers {
+				if f.AS == deadAS {
+					continue
+				}
+				kept = append(kept, f)
+			}
+			vn.Fingers = kept
+		}
+	}
+}
+
+// CheckRings verifies every ring level: members sorted by identifier
+// must each point at the adjacent member with SuccAt/PredAt, all members
+// must be alive, hosted where the oracle says, and inside the level's
+// subtree. This is the interdomain analogue of the paper's simulator
+// consistency checks.
+func (in *Internet) CheckRings() error {
+	for root, ring := range in.rings {
+		for i, p := range ring {
+			if in.failedAS[p.AS] {
+				return fmt.Errorf("%w: dead AS %d still in ring %v", ErrRingBroken, p.AS, root)
+			}
+			if host, ok := in.hostedAt[p.ID]; !ok || host != p.AS {
+				return fmt.Errorf("%w: ring %v member %s not hosted at AS %d", ErrRingBroken, root, p.ID.Short(), p.AS)
+			}
+			if !in.inSubtree(root, p.AS) {
+				return fmt.Errorf("%w: ring %v member %s outside subtree", ErrRingBroken, root, p.ID.Short())
+			}
+			vn := in.ases[p.AS].VNs[p.ID]
+			if vn == nil {
+				return fmt.Errorf("%w: ring %v member %s missing VNode", ErrRingBroken, root, p.ID.Short())
+			}
+			wantSucc := ring[(i+1)%len(ring)]
+			wantPred := ring[(i-1+len(ring))%len(ring)]
+			if got := vn.SuccAt[root]; got != wantSucc {
+				return fmt.Errorf("%w: ring %v: %s succ = %s want %s",
+					ErrRingBroken, root, p.ID.Short(), got.ID.Short(), wantSucc.ID.Short())
+			}
+			if got := vn.PredAt[root]; got != wantPred {
+				return fmt.Errorf("%w: ring %v: %s pred = %s want %s",
+					ErrRingBroken, root, p.ID.Short(), got.ID.Short(), wantPred.ID.Short())
+			}
+		}
+		// Sortedness of the ring storage itself.
+		for i := 1; i < len(ring); i++ {
+			if !ring[i-1].ID.Less(ring[i].ID) {
+				return fmt.Errorf("%w: ring %v not sorted at %d", ErrRingBroken, root, i)
+			}
+		}
+	}
+	return nil
+}
+
+// RingSize returns the membership count of a level (0 when absent).
+func (in *Internet) RingSize(r Root) int { return len(in.rings[r]) }
+
+// CheckIsolationState verifies the paper's isolation invariant on the
+// routing state itself (§4.1: "if this table is correctly maintained,
+// the isolation property is preserved"): every ring pointer at level R
+// must connect two ASes inside subtree(R), and every finger must carry a
+// root whose subtree contains both its owner and its target. Packets
+// only ever follow such pointers along policy paths confined to the
+// pointer's subtree, so state-level isolation is what bounds where
+// traffic can go.
+func (in *Internet) CheckIsolationState() error {
+	for _, as := range in.ases {
+		for _, vn := range as.VNs {
+			for root, p := range vn.SuccAt {
+				if !in.inSubtree(root, vn.AS) || !in.inSubtree(root, p.AS) {
+					return fmt.Errorf("%w: succ pointer %s→%s escapes subtree %v",
+						ErrRingBroken, vn.ID.Short(), p.ID.Short(), root)
+				}
+			}
+			for root, p := range vn.PredAt {
+				if !in.inSubtree(root, vn.AS) || !in.inSubtree(root, p.AS) {
+					return fmt.Errorf("%w: pred pointer %s→%s escapes subtree %v",
+						ErrRingBroken, vn.ID.Short(), p.ID.Short(), root)
+				}
+			}
+			for _, f := range vn.Fingers {
+				if !in.inSubtree(f.Root, vn.AS) || !in.inSubtree(f.Root, f.AS) {
+					return fmt.Errorf("%w: finger %s→%s escapes subtree %v",
+						ErrRingBroken, vn.ID.Short(), f.ID.Short(), f.Root)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,542 @@
+// Package canon implements ROFL's interdomain design (paper §4): a
+// Canon-style hierarchical merge of per-AS rings. Every AS runs its own
+// ring; a joining identifier additionally discovers an external successor
+// at each level of its up-hierarchy (join_external, Algorithm 3), so that
+// the union of all levels forms one global ring whose routing respects
+// the *isolation property* — traffic between two hosts never leaves the
+// subtree rooted at their earliest common ancestor that both joined.
+//
+// Policies are supported with the paper's two conversion rules (Fig 4):
+// peering links become *virtual ASes* that act as a provider of both
+// endpoints, and multihoming is handled by repeating the join across each
+// provider; backup links are used only when primary links fail.
+// Alternatively, per-AS Bloom filters summarize the hosts below each AS
+// so packets can cross peering links without peering joins, with
+// backtracking on false positives (§4.2). Proximity prefix fingers and
+// AS-granularity pointer caches reduce stretch (§4.1, Fig 8b/8c).
+//
+// Following the paper's methodology, "we model each AS as a single node"
+// (§6.1); message costs are AS-level hops along policy-compliant paths.
+package canon
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rofl/internal/bloom"
+	"rofl/internal/ident"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+// Metrics counter names charged by this package.
+const (
+	MsgJoin     = "canon-join"
+	MsgData     = "canon-data"
+	MsgRepair   = "canon-repair"
+	MsgTeardown = "canon-teardown"
+	// CtrIsolationViolations counts delivered packets whose path escaped
+	// the lowest joined common subtree. Zero on tree hierarchies; on
+	// multihomed DAGs a diagnostic rate (see RouteResult.StrictlyIsolated).
+	CtrIsolationViolations = "canon-strict-isolation-miss"
+	// CtrBloomBacktracks counts peering-link crossings that had to be
+	// returned because the Bloom filter false-positived.
+	CtrBloomBacktracks = "canon-bloom-backtracks"
+)
+
+// Sample names recorded by this package.
+const (
+	SampleJoinMsgs = "canon-join-msgs"
+	SampleStretch  = "canon-stretch"
+	SampleBGPHops  = "canon-bgp-hops"
+	SampleROFLHops = "canon-rofl-hops"
+)
+
+// Strategy selects how much of the up-hierarchy a join covers — the four
+// modes compared in Fig 8a.
+type Strategy uint8
+
+const (
+	// Ephemeral joins only at the global (top-level) ring.
+	Ephemeral Strategy = iota
+	// SingleHomed joins along one provider chain toward the core.
+	SingleHomed
+	// Multihomed joins recursively via every AS in the up-hierarchy.
+	Multihomed
+	// Peering joins, in addition, across every peering link adjacent to
+	// the up-hierarchy (via virtual ASes) — the strongest isolation.
+	Peering
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Ephemeral:
+		return "ephemeral"
+	case SingleHomed:
+		return "single-homed"
+	case Multihomed:
+		return "rec-multihomed"
+	case Peering:
+		return "peering"
+	default:
+		return "unknown"
+	}
+}
+
+// RootKind discriminates ring levels.
+type RootKind uint8
+
+const (
+	// RootAS is the sub-hierarchy rooted at one AS.
+	RootAS RootKind = iota
+	// RootPeer is the virtual AS covering one peering link (Fig 4a).
+	RootPeer
+	// RootTop is the single virtual AS covering the tier-1 clique — and
+	// therefore the whole Internet ("if several ASes are all peered
+	// together in a clique, we only need a single virtual AS", §4.2).
+	RootTop
+)
+
+// Root identifies one ring level: an AS sub-hierarchy, a peering virtual
+// AS (A < B), or the global top.
+type Root struct {
+	Kind RootKind
+	A, B topology.ASN
+}
+
+// String renders a root for logs: "AS7", "peer(3,9)" or "top".
+func (r Root) String() string {
+	switch r.Kind {
+	case RootAS:
+		return fmt.Sprintf("AS%d", r.A)
+	case RootPeer:
+		return fmt.Sprintf("peer(%d,%d)", r.A, r.B)
+	case RootTop:
+		return "top"
+	default:
+		return "root(?)"
+	}
+}
+
+// Top is the global ring's root.
+var Top = Root{Kind: RootTop}
+
+// asRoot builds an AS-subtree root.
+func asRoot(a topology.ASN) Root { return Root{Kind: RootAS, A: a} }
+
+// peerRoot builds the virtual AS for a peering link, normalizing order.
+func peerRoot(a, b topology.ASN) Root {
+	if b < a {
+		a, b = b, a
+	}
+	return Root{Kind: RootPeer, A: a, B: b}
+}
+
+// Ptr is one interdomain routing-state entry: a flat label and the AS
+// hosting it. AS-level source routes are recomputed against the live
+// policy graph at use time, which is what gives automatic failover when
+// a multihomed AS loses an access link (§2.3).
+type Ptr struct {
+	ID ident.ID
+	AS topology.ASN
+}
+
+// VNode is the interdomain routing state for one joined identifier.
+type VNode struct {
+	ID       ident.ID
+	AS       topology.ASN
+	Strategy Strategy
+
+	// SuccAt / PredAt hold the ring neighbors at every joined level.
+	SuccAt map[Root]Ptr
+	PredAt map[Root]Ptr
+
+	// Fingers are proximity-based prefix-table entries, each annotated
+	// with the lowest root whose subtree contains both endpoints (the
+	// constraint that keeps finger shortcuts isolation-preserving, §4.1).
+	Fingers []Finger
+}
+
+// Roots lists the levels this node joined, lowest (smallest subtree)
+// first.
+func (v *VNode) Roots(in *Internet) []Root {
+	out := make([]Root, 0, len(v.SuccAt))
+	for r := range v.SuccAt {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := in.subtreeSize(out[i]), in.subtreeSize(out[j])
+		if si != sj {
+			return si < sj
+		}
+		return rootLess(out[i], out[j])
+	})
+	return out
+}
+
+func rootLess(a, b Root) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// Finger is one prefix-table entry.
+type Finger struct {
+	Ptr
+	Root Root // lowest level containing both the owner and the target
+}
+
+// AS is one autonomous system in the simulation.
+type AS struct {
+	ASN   topology.ASN
+	VNs   map[ident.ID]*VNode
+	Cache *ptrCache
+	// Bloom summarizes all identifiers joined in this AS's
+	// down-hierarchy; maintained when the Options enable Bloom peering or
+	// caching (both need the isolation guard).
+	Bloom *bloom.Filter
+}
+
+// Options tunes the interdomain knobs the paper sweeps.
+type Options struct {
+	// FingerBudget bounds proximity fingers per node (Fig 8b sweeps 60,
+	// 160, 280).
+	FingerBudget int
+	// CacheCapacity bounds each AS's pointer cache in entries; 0
+	// disables, the paper's default ("we assume no ISPs use interdomain
+	// pointer caches", §4.1).
+	CacheCapacity int
+	// BloomPeering switches peering support from virtual-AS joins
+	// (option 1) to Bloom filters with backtracking (option 2, §4.2).
+	BloomPeering bool
+	// BloomFPRate is the per-filter false-positive target.
+	BloomFPRate float64
+	// RandomFingers disables proximity-aware finger selection (ablation:
+	// each slot takes an arbitrary matching identifier instead of the
+	// lowest-level, nearest one).
+	RandomFingers bool
+	// Seed feeds the deterministic RNG.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's baseline configuration.
+func DefaultOptions() Options {
+	return Options{
+		FingerBudget:  0,
+		CacheCapacity: 0,
+		BloomPeering:  false,
+		BloomFPRate:   0.01,
+		Seed:          1,
+	}
+}
+
+// Internet is the interdomain simulation state.
+type Internet struct {
+	G       *topology.ASGraph
+	Metrics sim.Metrics
+
+	opts Options
+	rng  *rand.Rand
+	ases []*AS
+
+	// rings holds, per level, the sorted list of members that joined it.
+	rings map[Root][]Ptr
+
+	// hostedAt is the oracle mapping identifiers to hosting ASes, used
+	// for verification and stretch denominators only.
+	hostedAt map[ident.ID]topology.ASN
+
+	// below[a] is the customer-cone membership bitset of AS a.
+	below [][]bool
+	// subtreeSizes memoizes subtree cardinalities per root.
+	subtreeSizes map[Root]int
+
+	// failedLink marks failed AS adjacencies (A < B normalized).
+	failedLink map[[2]topology.ASN]bool
+	failedAS   []bool
+
+	// virtualHosts maps identifiers to the provider AS that agreed to
+	// host a virtual server for them during their own AS's outages
+	// (§4.1: "an ISP may host virtual servers on behalf of a customer
+	// ISP, which it can maintain during that customer's outages").
+	virtualHosts map[ident.ID]topology.ASN
+}
+
+// New builds an Internet over the annotated AS graph.
+func New(g *topology.ASGraph, m sim.Metrics, opts Options) *Internet {
+	if opts.BloomFPRate <= 0 || opts.BloomFPRate >= 1 {
+		opts.BloomFPRate = 0.01
+	}
+	in := &Internet{
+		G:            g,
+		Metrics:      m,
+		opts:         opts,
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		rings:        make(map[Root][]Ptr),
+		hostedAt:     make(map[ident.ID]topology.ASN),
+		subtreeSizes: make(map[Root]int),
+		failedLink:   make(map[[2]topology.ASN]bool),
+		failedAS:     make([]bool, g.NumASes()),
+		virtualHosts: make(map[ident.ID]topology.ASN),
+	}
+	in.ases = make([]*AS, g.NumASes())
+	for i := range in.ases {
+		a := &AS{
+			ASN:   topology.ASN(i),
+			VNs:   make(map[ident.ID]*VNode),
+			Cache: newPtrCache(opts.CacheCapacity),
+		}
+		in.ases[i] = a
+	}
+	// Customer-cone bitsets, over primary links only: joins exclude
+	// backup links, so subtree membership must too, or the isolation
+	// bookkeeping would expect rings that were never joined.
+	in.below = make([][]bool, g.NumASes())
+	for i := 0; i < g.NumASes(); i++ {
+		set := make([]bool, g.NumASes())
+		for _, d := range g.DownHierarchyPrimary(topology.ASN(i)) {
+			set[d] = true
+		}
+		in.below[i] = set
+	}
+	// Bloom filters sized to each AS's expected customer-cone host count.
+	if opts.BloomPeering || opts.CacheCapacity > 0 {
+		for i := range in.ases {
+			expect := 0
+			for _, d := range g.DownHierarchyPrimary(topology.ASN(i)) {
+				expect += g.Hosts(d)
+			}
+			if expect < 16 {
+				expect = 16
+			}
+			in.ases[i].Bloom = bloom.NewForCapacity(expect, opts.BloomFPRate)
+		}
+	}
+	return in
+}
+
+// Options returns the configuration.
+func (in *Internet) Options() Options { return in.opts }
+
+// AS returns the simulation state of one AS.
+func (in *Internet) AS(a topology.ASN) *AS { return in.ases[a] }
+
+// HostingAS returns where id is joined (oracle).
+func (in *Internet) HostingAS(id ident.ID) (topology.ASN, bool) {
+	a, ok := in.hostedAt[id]
+	return a, ok
+}
+
+// NumJoined returns the number of joined identifiers.
+func (in *Internet) NumJoined() int { return len(in.hostedAt) }
+
+// inSubtree reports whether AS a lies inside root r's subtree.
+func (in *Internet) inSubtree(r Root, a topology.ASN) bool {
+	switch r.Kind {
+	case RootTop:
+		return true
+	case RootAS:
+		return in.below[r.A][a]
+	case RootPeer:
+		return in.below[r.A][a] || in.below[r.B][a]
+	default:
+		return false
+	}
+}
+
+// subtreeSize returns the number of ASes in root r's subtree, memoized.
+func (in *Internet) subtreeSize(r Root) int {
+	if s, ok := in.subtreeSizes[r]; ok {
+		return s
+	}
+	var s int
+	switch r.Kind {
+	case RootTop:
+		s = in.G.NumASes()
+	default:
+		for a := 0; a < in.G.NumASes(); a++ {
+			if in.inSubtree(r, topology.ASN(a)) {
+				s++
+			}
+		}
+	}
+	in.subtreeSizes[r] = s
+	return s
+}
+
+// --- Policy-compliant AS paths -------------------------------------------
+
+func linkKey(a, b topology.ASN) [2]topology.ASN {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]topology.ASN{a, b}
+}
+
+// linkUp reports whether the a–b adjacency is usable.
+func (in *Internet) linkUp(a, b topology.ASN) bool {
+	if in.failedAS[a] || in.failedAS[b] {
+		return false
+	}
+	return !in.failedLink[linkKey(a, b)]
+}
+
+// activeProviders returns a's usable upstream links: primary providers
+// first; backup links only when every primary link is down (§4.2
+// "backup links ... an AS joins ... through one of its providers, and
+// uses the other providers as backup, in case the primary provider
+// fails").
+func (in *Internet) activeProviders(a topology.ASN) []topology.ASN {
+	var primary []topology.ASN
+	for _, p := range in.G.PrimaryProviders(a) {
+		if in.linkUp(a, p) {
+			primary = append(primary, p)
+		}
+	}
+	if len(primary) > 0 {
+		return primary
+	}
+	var backup []topology.ASN
+	for _, p := range in.G.Providers(a) {
+		if in.G.Relation(a, p) == topology.RelBackup && in.linkUp(a, p) {
+			backup = append(backup, p)
+		}
+	}
+	return backup
+}
+
+// pathWithin returns the shortest policy-compliant AS path from `from`
+// to `to` that never leaves root's subtree: ascend provider links,
+// optionally cross the root's own peering link (RootPeer) or one tier-1
+// peering link (RootTop), then descend customer links. Returns nil when
+// no such path exists — e.g. across a partition.
+func (in *Internet) pathWithin(root Root, from, to topology.ASN) []topology.ASN {
+	if from == to {
+		return []topology.ASN{from}
+	}
+	if !in.inSubtree(root, from) || !in.inSubtree(root, to) {
+		return nil
+	}
+	if in.failedAS[from] || in.failedAS[to] {
+		return nil
+	}
+	n := in.G.NumASes()
+	const phases = 2 // 0 ascending, 1 descending
+	visited := make([]bool, n*phases)
+	parent := make([]int32, n*phases)
+	for i := range parent {
+		parent[i] = -1
+	}
+	idx := func(a topology.ASN, ph int) int { return int(a)*phases + ph }
+	start := idx(from, 0)
+	visited[start] = true
+	queue := []int{start}
+	goal := -1
+	for len(queue) > 0 && goal == -1 {
+		cur := queue[0]
+		queue = queue[1:]
+		a := topology.ASN(cur / phases)
+		ph := cur % phases
+		push := func(b topology.ASN, nph int) {
+			if in.failedAS[b] || !in.inSubtree(root, b) {
+				return
+			}
+			i := idx(b, nph)
+			if visited[i] {
+				return
+			}
+			visited[i] = true
+			parent[i] = int32(cur)
+			if b == to {
+				goal = i
+				return
+			}
+			queue = append(queue, i)
+		}
+		if ph == 0 {
+			for _, p := range in.activeProviders(a) {
+				push(p, 0)
+				if goal != -1 {
+					break
+				}
+			}
+			if goal == -1 {
+				// Peer crossings permitted by the root.
+				for _, q := range in.G.Peers(a) {
+					if !in.linkUp(a, q) {
+						continue
+					}
+					allowed := false
+					switch root.Kind {
+					case RootPeer:
+						allowed = (a == root.A && q == root.B) || (a == root.B && q == root.A)
+					case RootTop:
+						allowed = in.G.Tier(a) == 1 && in.G.Tier(q) == 1
+					}
+					if allowed {
+						push(q, 1)
+						if goal != -1 {
+							break
+						}
+					}
+				}
+			}
+		}
+		if goal == -1 {
+			for _, c := range in.G.Customers(a) {
+				if !in.linkUp(a, c) {
+					continue
+				}
+				// A backup customer link carries traffic only while the
+				// customer's primary access links are all down (§4.2).
+				if in.G.Relation(c, a) == topology.RelBackup && in.hasPrimaryUp(c) {
+					continue
+				}
+				push(c, 1)
+				if goal != -1 {
+					break
+				}
+			}
+		}
+	}
+	if goal == -1 {
+		return nil
+	}
+	var rev []topology.ASN
+	for i := goal; i != -1; i = int(parent[i]) {
+		rev = append(rev, topology.ASN(i/phases))
+	}
+	out := make([]topology.ASN, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		if len(out) == 0 || out[len(out)-1] != rev[i] {
+			out = append(out, rev[i])
+		}
+	}
+	return out
+}
+
+// hasPrimaryUp reports whether AS c still has a usable primary provider
+// link.
+func (in *Internet) hasPrimaryUp(c topology.ASN) bool {
+	for _, p := range in.G.PrimaryProviders(c) {
+		if in.linkUp(c, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// hopsWithin is pathWithin's hop count, or -1.
+func (in *Internet) hopsWithin(root Root, from, to topology.ASN) int {
+	p := in.pathWithin(root, from, to)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}

@@ -1,0 +1,385 @@
+package canon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rofl/internal/ident"
+	"rofl/internal/topology"
+)
+
+// Errors returned by Internet operations.
+var (
+	ErrDuplicateID = errors.New("canon: identifier already joined")
+	ErrUnknownID   = errors.New("canon: identifier not joined")
+	ErrASDown      = errors.New("canon: AS is down")
+	ErrNoRoute     = errors.New("canon: no policy-compliant route")
+	ErrTTL         = errors.New("canon: TTL exceeded")
+	ErrRingBroken  = errors.New("canon: ring invariant violated")
+)
+
+// JoinResult reports the cost of one interdomain join — the Fig 8a
+// metric.
+type JoinResult struct {
+	VN     *VNode
+	Msgs   int
+	Levels int // ring levels actually joined
+}
+
+// rootsFor computes the ring levels a join covers under the given
+// strategy (§4.2). Ephemeral hosts join only the global ring; a
+// single-homed join walks one provider chain; a recursively multihomed
+// join covers every AS in the up-hierarchy; a peering join additionally
+// joins the virtual AS of every peering link adjacent to the
+// up-hierarchy — unless Bloom peering is enabled, which replaces those
+// joins with data-path filter checks ("using the bloom filter
+// optimization reduced the overhead of the peering join to be equal to
+// the overhead of the recursively multihomed join", §6.3).
+func (in *Internet) rootsFor(x topology.ASN, s Strategy) []Root {
+	switch s {
+	case Ephemeral:
+		return []Root{Top}
+	case SingleHomed:
+		roots := []Root{asRoot(x)}
+		cur := x
+		for in.G.Tier(cur) != 1 {
+			provs := in.activeProviders(cur)
+			if len(provs) == 0 {
+				break
+			}
+			cur = provs[0]
+			roots = append(roots, asRoot(cur))
+		}
+		return append(roots, Top)
+	case Multihomed, Peering:
+		up := in.G.UpHierarchyLevels(x, false)
+		var roots []Root
+		seen := map[Root]bool{}
+		for _, level := range up {
+			for _, a := range level {
+				r := asRoot(a)
+				if !seen[r] {
+					seen[r] = true
+					roots = append(roots, r)
+				}
+			}
+		}
+		if s == Peering && !in.opts.BloomPeering {
+			// Virtual ASes for peering links adjacent to the
+			// up-hierarchy (Fig 4a). The tier-1 clique is covered by the
+			// single Top virtual AS, so only lower peerings get their
+			// own.
+			for _, level := range up {
+				for _, a := range level {
+					if in.G.Tier(a) == 1 {
+						continue
+					}
+					for _, q := range in.G.Peers(a) {
+						if in.G.Tier(q) == 1 {
+							continue
+						}
+						r := peerRoot(a, q)
+						if !seen[r] {
+							seen[r] = true
+							roots = append(roots, r)
+						}
+					}
+				}
+			}
+		}
+		return append(roots, Top)
+	default:
+		return []Root{Top}
+	}
+}
+
+// Join splices id into the rings selected by the strategy, discovering a
+// predecessor and successor at each level (join_external, Algorithm 3),
+// acquires proximity fingers up to the configured budget, and updates
+// the Bloom filters of every ancestor. Redundant per-level lookups that
+// resolve to an already-discovered successor are collapsed to a single
+// confirmation message — the optimization the paper uses to keep
+// multihomed joins close to single-homed cost (§6.3).
+func (in *Internet) Join(id ident.ID, at topology.ASN, s Strategy) (JoinResult, error) {
+	if in.failedAS[at] {
+		return JoinResult{}, ErrASDown
+	}
+	if _, dup := in.hostedAt[id]; dup {
+		return JoinResult{}, fmt.Errorf("%w: %s", ErrDuplicateID, id.Short())
+	}
+	vn := &VNode{
+		ID: id, AS: at, Strategy: s,
+		SuccAt: make(map[Root]Ptr),
+		PredAt: make(map[Root]Ptr),
+	}
+	msgs := 0
+	levels := 0
+	seenSuccs := map[ident.ID]bool{}
+	roots := in.rootsFor(at, s)
+	// Join lowest levels first, as the recursive bottom-up merge does.
+	sort.Slice(roots, func(i, j int) bool {
+		si, sj := in.subtreeSize(roots[i]), in.subtreeSize(roots[j])
+		if si != sj {
+			return si < sj
+		}
+		return rootLess(roots[i], roots[j])
+	})
+	self := Ptr{ID: id, AS: at}
+	for _, root := range roots {
+		ring := in.rings[root]
+		i := sort.Search(len(ring), func(k int) bool { return !ring[k].ID.Less(id) })
+		var pred, succ Ptr
+		haveNbrs := len(ring) > 0
+		if haveNbrs {
+			pred = ring[(i-1+len(ring))%len(ring)]
+			succ = ring[i%len(ring)]
+		}
+		// Message accounting: route to the predecessor within this
+		// level's subtree and back, then notify the successor and get an
+		// ack. A lookup resolving to an already-seen successor is
+		// eliminated after a single confirmation (2 messages).
+		if haveNbrs {
+			if seenSuccs[succ.ID] {
+				msgs += 2
+			} else {
+				if h := in.hopsWithin(root, at, pred.AS); h > 0 {
+					msgs += 2 * h
+					in.cacheAlong(in.pathWithin(root, at, pred.AS), self)
+				}
+				if h := in.hopsWithin(root, at, succ.AS); h > 0 {
+					msgs += 2 * h
+					in.cacheAlong(in.pathWithin(root, at, succ.AS), self)
+				}
+				seenSuccs[succ.ID] = true
+			}
+		}
+		// Splice the ring state.
+		if haveNbrs {
+			vn.PredAt[root] = pred
+			vn.SuccAt[root] = succ
+			if pvn := in.vnOf(pred.ID); pvn != nil {
+				pvn.SuccAt[root] = self
+			}
+			if svn := in.vnOf(succ.ID); svn != nil {
+				svn.PredAt[root] = self
+			}
+		} else {
+			// First member of this level: self-ring.
+			vn.PredAt[root] = self
+			vn.SuccAt[root] = self
+		}
+		// Insert into the sorted ring.
+		ring = append(ring, Ptr{})
+		copy(ring[i+1:], ring[i:])
+		ring[i] = self
+		in.rings[root] = ring
+		levels++
+	}
+
+	in.ases[at].VNs[id] = vn
+	in.hostedAt[id] = at
+
+	// Ancestor Bloom filters learn the new identifier (§4.1: "these
+	// bloom filters are also updated during the join process").
+	if in.ases[at].Bloom != nil {
+		for a := range in.G.UpHierarchy(at, false) {
+			if f := in.ases[a].Bloom; f != nil {
+				f.Add(id[:])
+			}
+		}
+	}
+
+	// Proximity fingers (§4.1): one acquisition message per entry, which
+	// reproduces the paper's join-overhead-vs-finger-count tradeoff
+	// (~445 messages for 340 fingers, §6.4).
+	if in.opts.FingerBudget > 0 {
+		vn.Fingers = in.acquireFingers(vn, in.opts.FingerBudget)
+		msgs += len(vn.Fingers)
+		// The join "also record[s] a list of IDs that need to insert J"
+		// and multicasts the new identifier to them (§4.1): existing
+		// nodes adopt the newcomer where it fills or improves a slot.
+		msgs += in.backInsertFinger(vn)
+	}
+
+	in.Metrics.Count(MsgJoin, int64(msgs))
+	in.Metrics.Sample(SampleJoinMsgs, float64(msgs))
+	return JoinResult{VN: vn, Msgs: msgs, Levels: levels}, nil
+}
+
+// cacheAlong deposits a pointer in the caches of every AS a control
+// message traverses.
+func (in *Internet) cacheAlong(path []topology.ASN, p Ptr) {
+	if in.opts.CacheCapacity <= 0 {
+		return
+	}
+	for _, a := range path {
+		if a != p.AS {
+			in.ases[a].Cache.Insert(p)
+		}
+	}
+}
+
+// vnOf resolves a joined identifier to its VNode.
+func (in *Internet) vnOf(id ident.ID) *VNode {
+	a, ok := in.hostedAt[id]
+	if !ok {
+		return nil
+	}
+	return in.ases[a].VNs[id]
+}
+
+// acquireFingers fills a Pastry-style prefix table: slot (row, col)
+// wants an identifier sharing `row` leading digits with vn.ID and having
+// digit `col` next. Among matching identifiers the entry "resides in the
+// lower-most level of the hierarchy (relative to X)" — we pick the
+// candidate whose lowest joined root containing vn's AS has the smallest
+// subtree, breaking ties by policy-path proximity (§4.1). Rows are
+// filled in order until the budget runs out.
+func (in *Internet) acquireFingers(vn *VNode, budget int) []Finger {
+	type slot struct{ row, col int }
+	best := make(map[slot]Finger)
+	bestKey := make(map[slot][2]int) // (subtree size, path hops)
+	for id, hostAS := range in.hostedAt {
+		if id == vn.ID {
+			continue
+		}
+		row := ident.CommonPrefixLen(vn.ID, id) / ident.DigitBits
+		if row >= ident.Digits {
+			continue
+		}
+		col := id.Digit(row)
+		k := slot{row, col}
+		other := in.vnOf(id)
+		if other == nil {
+			continue
+		}
+		root, ok := in.lowestCommonRoot(other, vn.AS)
+		if !ok {
+			continue
+		}
+		hops := in.hopsWithin(root, vn.AS, hostAS)
+		if hops < 0 {
+			continue
+		}
+		key := [2]int{in.subtreeSize(root), hops}
+		if in.opts.RandomFingers {
+			// Ablation: ignore proximity and level, keep the smallest
+			// identifier per slot (deterministic but arbitrary).
+			key = [2]int{0, 0}
+		}
+		cur, exists := bestKey[k]
+		// Ties break on identifier so the result is independent of map
+		// iteration order.
+		better := !exists || key[0] < cur[0] ||
+			(key[0] == cur[0] && key[1] < cur[1]) ||
+			(key == cur && id.Less(best[k].ID))
+		if better {
+			bestKey[k] = key
+			best[k] = Finger{Ptr: Ptr{ID: id, AS: hostAS}, Root: root}
+		}
+	}
+	// Fill row-major until the budget is exhausted.
+	keys := make([]slot, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].row != keys[j].row {
+			return keys[i].row < keys[j].row
+		}
+		return keys[i].col < keys[j].col
+	})
+	out := make([]Finger, 0, budget)
+	for _, k := range keys {
+		if len(out) >= budget {
+			break
+		}
+		out = append(out, best[k])
+	}
+	return out
+}
+
+// backInsertFinger offers a newly joined identifier to every existing
+// node's finger table, filling empty slots and replacing entries the
+// newcomer beats on (level, proximity). Returns the number of insertion
+// messages charged (one per table updated).
+func (in *Internet) backInsertFinger(newVN *VNode) int {
+	budget := in.opts.FingerBudget
+	maxRows := (budget + 14) / 15 // 15 foreign columns per 4-bit digit row
+	msgs := 0
+	for _, as := range in.ases {
+		for _, vn := range as.VNs {
+			if vn == newVN || len(vn.Fingers) == 0 && budget == 0 {
+				continue
+			}
+			row := ident.CommonPrefixLen(vn.ID, newVN.ID) / ident.DigitBits
+			if row >= ident.Digits || row >= maxRows {
+				continue
+			}
+			col := newVN.ID.Digit(row)
+			root, ok := in.lowestCommonRoot(newVN, vn.AS)
+			if !ok {
+				continue
+			}
+			hops := in.hopsWithin(root, vn.AS, newVN.AS)
+			if hops < 0 {
+				continue
+			}
+			// Find the existing entry in the same slot, if any.
+			slotIdx := -1
+			for i, f := range vn.Fingers {
+				r := ident.CommonPrefixLen(vn.ID, f.ID) / ident.DigitBits
+				if r == row && f.ID.Digit(r) == col {
+					slotIdx = i
+					break
+				}
+			}
+			cand := Finger{Ptr: Ptr{ID: newVN.ID, AS: newVN.AS}, Root: root}
+			switch {
+			case slotIdx == -1 && len(vn.Fingers) < budget:
+				vn.Fingers = append(vn.Fingers, cand)
+				msgs++
+			case slotIdx >= 0:
+				old := vn.Fingers[slotIdx]
+				oldSize := int(^uint(0) >> 1)
+				oldHops := oldSize
+				if ovn := in.vnOf(old.ID); ovn != nil {
+					if oldRoot, okOld := in.lowestCommonRoot(ovn, vn.AS); okOld {
+						oldSize = in.subtreeSize(oldRoot)
+						if h := in.hopsWithin(oldRoot, vn.AS, old.AS); h >= 0 {
+							oldHops = h
+						}
+					}
+				}
+				newSize := in.subtreeSize(root)
+				if newSize < oldSize || (newSize == oldSize && hops < oldHops) {
+					vn.Fingers[slotIdx] = cand
+					msgs++
+				}
+			}
+		}
+	}
+	return msgs
+}
+
+// lowestCommonRoot returns the smallest-subtree root that `other` joined
+// and whose subtree contains fromAS — the level a pointer to `other` is
+// usable at without violating isolation.
+func (in *Internet) lowestCommonRoot(other *VNode, fromAS topology.ASN) (Root, bool) {
+	if other == nil {
+		return Root{}, false
+	}
+	var best Root
+	bestSize := -1
+	for r := range other.SuccAt {
+		if !in.inSubtree(r, fromAS) {
+			continue
+		}
+		s := in.subtreeSize(r)
+		if bestSize == -1 || s < bestSize || (s == bestSize && rootLess(r, best)) {
+			best, bestSize = r, s
+		}
+	}
+	return best, bestSize != -1
+}

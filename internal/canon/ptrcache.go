@@ -1,0 +1,102 @@
+package canon
+
+import (
+	"sort"
+
+	"rofl/internal/ident"
+)
+
+// ptrCache is the AS-granularity pointer cache of §4.1 ("Exploiting
+// reference locality"): a bounded LRU of overheard (identifier → AS)
+// pointers kept in identifier order for closest-without-overshoot
+// lookups. Its use on the data path is guarded by the AS's Bloom filter
+// so shortcuts never violate the isolation property.
+type ptrCache struct {
+	cap     int
+	entries []ptrEntry
+	clock   uint64
+}
+
+type ptrEntry struct {
+	Ptr
+	lastUsed uint64
+}
+
+func newPtrCache(capacity int) *ptrCache { return &ptrCache{cap: capacity} }
+
+func (c *ptrCache) Len() int { return len(c.entries) }
+
+func (c *ptrCache) find(id ident.ID) (int, bool) {
+	i := sort.Search(len(c.entries), func(k int) bool { return !c.entries[k].ID.Less(id) })
+	if i < len(c.entries) && c.entries[i].ID == id {
+		return i, true
+	}
+	return i, false
+}
+
+func (c *ptrCache) Insert(p Ptr) {
+	if c.cap <= 0 {
+		return
+	}
+	c.clock++
+	if i, ok := c.find(p.ID); ok {
+		c.entries[i].AS = p.AS
+		c.entries[i].lastUsed = c.clock
+		return
+	}
+	if len(c.entries) >= c.cap {
+		victim := 0
+		for i := 1; i < len(c.entries); i++ {
+			if c.entries[i].lastUsed < c.entries[victim].lastUsed {
+				victim = i
+			}
+		}
+		c.entries = append(c.entries[:victim], c.entries[victim+1:]...)
+	}
+	i, _ := c.find(p.ID)
+	c.entries = append(c.entries, ptrEntry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = ptrEntry{Ptr: p, lastUsed: c.clock}
+}
+
+func (c *ptrCache) Remove(id ident.ID) {
+	if i, ok := c.find(id); ok {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+	}
+}
+
+// RemoveAS drops every entry pointing at a dead AS.
+func (c *ptrCache) RemoveAS(a int) int {
+	kept := c.entries[:0]
+	removed := 0
+	for _, e := range c.entries {
+		if int(e.AS) == a {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.entries = kept
+	return removed
+}
+
+// Lookup returns the cached pointer closest to dst without overshooting
+// from pos.
+func (c *ptrCache) Lookup(pos, dst ident.ID) (Ptr, bool) {
+	n := len(c.entries)
+	if n == 0 {
+		return Ptr{}, false
+	}
+	i := sort.Search(n, func(k int) bool { return dst.Less(c.entries[k].ID) })
+	idx := i - 1
+	if idx < 0 {
+		idx = n - 1
+	}
+	e := c.entries[idx]
+	if !ident.Progress(pos, dst, e.ID) {
+		return Ptr{}, false
+	}
+	c.clock++
+	c.entries[idx].lastUsed = c.clock
+	return e.Ptr, true
+}

@@ -1,0 +1,138 @@
+package canon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rofl/internal/ident"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+// TestInterdomainChurnSoak interleaves joins (all strategies), graceful
+// leaves, AS-link flaps and stub-AS failures, verifying ring and
+// isolation-state invariants after every event.
+func TestInterdomainChurnSoak(t *testing.T) {
+	seeds := []int64{11, 22, 33}
+	steps := 150
+	if testing.Short() {
+		seeds = seeds[:1]
+		steps = 60
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			interSoak(t, seed, steps)
+		})
+	}
+}
+
+func interSoak(t *testing.T, seed int64, steps int) {
+	g := topology.GenAS(topology.ASGenConfig{
+		Tier1: 3, Tier2: 10, Stubs: 40,
+		Hosts: 1000, ZipfS: 1.1, PeerProb: 0.2, BackupProb: 0.3, Seed: seed,
+	})
+	opts := DefaultOptions()
+	opts.FingerBudget = 30
+	opts.Seed = seed
+	in := New(g, sim.NewMetrics(), opts)
+	rng := rand.New(rand.NewSource(seed))
+	stubs := g.Stubs()
+	strategies := []Strategy{Ephemeral, SingleHomed, Multihomed, Peering}
+
+	alive := map[ident.ID]bool{}
+	var list []ident.ID
+	refresh := func() {
+		list = list[:0]
+		for id := range alive {
+			list = append(list, id)
+		}
+	}
+	next := 0
+	check := func(step int, what string) {
+		if err := in.CheckRings(); err != nil {
+			t.Fatalf("seed %d step %d after %s: %v", seed, step, what, err)
+		}
+		if err := in.CheckIsolationState(); err != nil {
+			t.Fatalf("seed %d step %d after %s: %v", seed, step, what, err)
+		}
+	}
+	failedASes := map[topology.ASN]bool{}
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // join with a random strategy
+			id := ident.FromString(fmt.Sprintf("isoak-%d-%d", seed, next))
+			next++
+			as := stubs[rng.Intn(len(stubs))]
+			if failedASes[as] {
+				continue
+			}
+			if _, err := in.Join(id, as, strategies[rng.Intn(len(strategies))]); err != nil {
+				t.Fatalf("step %d join: %v", step, err)
+			}
+			alive[id] = true
+			check(step, "join")
+		case op < 7: // graceful leave
+			refresh()
+			if len(list) == 0 {
+				continue
+			}
+			id := list[rng.Intn(len(list))]
+			if _, ok := in.HostingAS(id); !ok {
+				delete(alive, id)
+				continue
+			}
+			if err := in.Leave(id); err != nil {
+				t.Fatalf("step %d leave: %v", step, err)
+			}
+			delete(alive, id)
+			check(step, "leave")
+		case op < 8: // AS-link flap
+			a := stubs[rng.Intn(len(stubs))]
+			provs := g.Providers(a)
+			if len(provs) < 2 {
+				continue
+			}
+			p := provs[rng.Intn(len(provs))]
+			in.FailASLink(a, p)
+			check(step, "link fail")
+			in.RestoreASLink(a, p)
+		default: // stub failure
+			var victim topology.ASN = -1
+			for tries := 0; tries < 50; tries++ {
+				c := stubs[rng.Intn(len(stubs))]
+				if !failedASes[c] {
+					victim = c
+					break
+				}
+			}
+			if victim == -1 {
+				continue
+			}
+			in.FailAS(victim)
+			failedASes[victim] = true
+			for id := range alive {
+				if _, ok := in.HostingAS(id); !ok {
+					delete(alive, id)
+				}
+			}
+			check(step, "stub failure")
+		}
+	}
+	// Final sweep: every survivor routable from every other.
+	refresh()
+	probes := 0
+	for i := 0; i < len(list) && probes < 100; i++ {
+		for j := 0; j < len(list) && probes < 100; j++ {
+			if i == j {
+				continue
+			}
+			probes++
+			if _, err := in.Route(list[i], list[j]); err != nil {
+				t.Fatalf("final route %s->%s: %v", list[i].Short(), list[j].Short(), err)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rofl/internal/baseline/bgppolicy"
+	"rofl/internal/canon"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+	"rofl/internal/vring"
+)
+
+// Ablations exercises the design choices DESIGN.md calls out, one
+// sub-table per knob:
+//
+//   - successor-group size: join cost vs resilience to host failure;
+//   - cache-fill policy: control-only (the paper's default) vs off vs
+//     data snooping;
+//   - proximity fingers vs random fingers (interdomain);
+//   - directed teardown floods vs whole-network floods on host failure.
+func Ablations(cfg Config) Table {
+	t := Table{
+		ID:      "ablation",
+		Title:   "Design-choice ablations",
+		Columns: []string{"knob", "setting", "metric", "value"},
+	}
+	ablSuccessorGroup(cfg, &t)
+	ablCachePolicy(cfg, &t)
+	ablFingerSelection(cfg, &t)
+	ablDirectedFlood(cfg, &t)
+	return t
+}
+
+func ablSuccessorGroup(cfg Config, t *Table) {
+	ic := topology.AS3967
+	if ic.Hosts > cfg.HostsPerISP {
+		ic.Hosts = cfg.HostsPerISP
+	}
+	for _, group := range []int{1, 2, 4, 8} {
+		isp := topology.GenISP(ic)
+		m := sim.NewMetrics()
+		opts := vring.DefaultOptions()
+		opts.SuccessorGroup = group
+		n := vring.New(isp.Graph, m, opts)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		ids, err := joinHosts(n, isp, ic.Hosts, rng)
+		if err != nil {
+			panic(err)
+		}
+		joinAvg := avg(m.Samples(vring.SampleJoinMsgs))
+		// Fail a batch of hosts; with a larger group more repairs resolve
+		// by shift-down instead of rejoin probes.
+		before := m.Counter(vring.MsgTeardown) + m.Counter(vring.MsgRepair)
+		fails := len(ids) / 10
+		for i := 0; i < fails; i++ {
+			if err := n.FailHost(ids[i]); err != nil {
+				panic(err)
+			}
+		}
+		repair := m.Counter(vring.MsgTeardown) + m.Counter(vring.MsgRepair) - before
+		t.AddRow("succ-group", group, "join-msgs-avg", joinAvg)
+		t.AddRow("succ-group", group, "fail-repair-msgs/host", float64(repair)/float64(fails))
+	}
+}
+
+func ablCachePolicy(cfg Config, t *Table) {
+	ic := topology.AS3257
+	if ic.Hosts > cfg.HostsPerISP {
+		ic.Hosts = cfg.HostsPerISP
+	}
+	type setting struct {
+		name           string
+		control, snoop bool
+	}
+	for _, s := range []setting{
+		{"off", false, false},
+		{"control-only", true, false}, // the paper's configuration
+		{"control+snoop", true, true},
+	} {
+		isp := topology.GenISP(ic)
+		m := sim.NewMetrics()
+		opts := vring.DefaultOptions()
+		opts.CacheControl = s.control
+		opts.SnoopData = s.snoop
+		n := vring.New(isp.Graph, m, opts)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		ids, err := joinHosts(n, isp, ic.Hosts, rng)
+		if err != nil {
+			panic(err)
+		}
+		picker := newHostPicker(isp)
+		var total float64
+		count := 0
+		// Two passes so snooped entries pay off on the repeat traffic.
+		for pass := 0; pass < 2; pass++ {
+			r2 := rand.New(rand.NewSource(cfg.Seed + 7))
+			total, count = 0, 0
+			for p := 0; p < cfg.Pairs/2; p++ {
+				res, err := n.Route(picker.pick(r2), ids[r2.Intn(len(ids))])
+				if err != nil {
+					continue
+				}
+				total += res.Stretch
+				count++
+			}
+		}
+		t.AddRow("cache-fill", s.name, "stretch-mean", total/float64(count))
+	}
+}
+
+func ablFingerSelection(cfg Config, t *Table) {
+	for _, random := range []bool{false, true} {
+		g := genASGraph(cfg)
+		opts := canon.DefaultOptions()
+		opts.FingerBudget = 160
+		opts.RandomFingers = random
+		in := canon.New(g, sim.NewMetrics(), opts)
+		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, cfg.Seed, fmt.Sprintf("abl-f-%v", random))
+		if err != nil {
+			panic(err)
+		}
+		bgp := bgppolicy.New(g)
+		rng := rand.New(rand.NewSource(cfg.Seed + 8))
+		var sum float64
+		var count int
+		for p := 0; p < cfg.Pairs; p++ {
+			src, dst := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+			if src == dst {
+				continue
+			}
+			res, err := in.Route(src, dst)
+			if err != nil {
+				continue
+			}
+			srcAS, _ := in.HostingAS(src)
+			dstAS, _ := in.HostingAS(dst)
+			base := bgp.Hops(srcAS, dstAS, nil)
+			if base <= 0 {
+				continue
+			}
+			sum += float64(res.ASHops) / float64(base)
+			count++
+		}
+		name := "proximity"
+		if random {
+			name = "random"
+		}
+		t.AddRow("finger-selection", name, "stretch-mean@160f", sum/float64(count))
+	}
+}
+
+func ablDirectedFlood(cfg Config, t *Table) {
+	ic := topology.AS3967
+	if ic.Hosts > cfg.HostsPerISP {
+		ic.Hosts = cfg.HostsPerISP
+	}
+	isp := topology.GenISP(ic)
+	m := sim.NewMetrics()
+	n := vring.New(isp.Graph, m, vring.DefaultOptions())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids, err := joinHosts(n, isp, ic.Hosts, rng)
+	if err != nil {
+		panic(err)
+	}
+	fullFlood := 2 * isp.Graph.NumEdges()
+	before := m.Counter(vring.MsgTeardown)
+	fails := len(ids) / 10
+	for i := 0; i < fails; i++ {
+		if err := n.FailHost(ids[i]); err != nil {
+			panic(err)
+		}
+	}
+	directed := float64(m.Counter(vring.MsgTeardown)-before) / float64(fails)
+	t.AddRow("teardown-flood", "directed (paper)", "msgs/failure", directed)
+	t.AddRow("teardown-flood", "whole-network", "msgs/failure", fullFlood)
+	t.Note("directed teardown floods cost %.1fx less than flooding every router (paper §3.2 rejects whole-network floods as inefficient)",
+		float64(fullFlood)/directed)
+}
+
+func avg(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAllRunnersProduceTables(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.HostsPerISP = 60
+	cfg.Pairs = 60
+	cfg.InterHosts = 120
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab := r.Run(cfg)
+			if tab.ID != r.ID {
+				t.Fatalf("table id %q != runner id %q", tab.ID, r.ID)
+			}
+			if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(row), len(tab.Columns), row)
+				}
+			}
+			if !strings.Contains(tab.String(), tab.Title) {
+				t.Fatal("String() must include the title")
+			}
+			if !strings.Contains(tab.CSV(), tab.Columns[0]) {
+				t.Fatal("CSV() must include the header")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig5a"); !ok {
+		t.Fatal("fig5a must exist")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Fig5a(cfg)
+	// Ether must dominate ROFL at the final sweep point for every ISP,
+	// by a large factor (paper: 37x-181x).
+	last := len(tab.Rows) - 1
+	// At quick scale the cache warm-up transient dominates ROFL's mean
+	// join cost, so the gap is smaller than the paper's full-scale
+	// 37x-181x; it must still be decisive.
+	for c := 1; c < len(tab.Columns); c += 2 {
+		rofl := cell(t, tab, last, c)
+		ether := cell(t, tab, last, c+1)
+		if ether < 4*rofl {
+			t.Fatalf("%s: ether %.0f not >> rofl %.0f", tab.Columns[c], ether, rofl)
+		}
+	}
+	// Cumulative overhead must be nondecreasing in IDs.
+	for c := 1; c < len(tab.Columns); c++ {
+		for r := 1; r < len(tab.Rows); r++ {
+			if cell(t, tab, r, c) < cell(t, tab, r-1, c) {
+				t.Fatalf("column %s decreases at row %d", tab.Columns[c], r)
+			}
+		}
+	}
+}
+
+func TestFig5bMonotoneCDF(t *testing.T) {
+	tab := Fig5b(QuickConfig())
+	for c := 1; c < len(tab.Columns); c++ {
+		for r := 1; r < len(tab.Rows); r++ {
+			if cell(t, tab, r, c) < cell(t, tab, r-1, c) {
+				t.Fatalf("CDF column %s not monotone", tab.Columns[c])
+			}
+		}
+	}
+}
+
+func TestFig6aCachingHelps(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Fig6a(cfg)
+	first, last := 0, len(tab.Rows)-1
+	for c := 1; c < len(tab.Columns); c++ {
+		noCache := cell(t, tab, first, c)
+		bigCache := cell(t, tab, last, c)
+		if bigCache >= noCache {
+			t.Fatalf("%s: cache did not help (%.2f -> %.2f)", tab.Columns[c], noCache, bigCache)
+		}
+		if bigCache < 1 {
+			t.Fatalf("%s: stretch < 1 impossible", tab.Columns[c])
+		}
+	}
+}
+
+func TestFig6cEtherDominates(t *testing.T) {
+	tab := Fig6c(QuickConfig())
+	last := len(tab.Rows) - 1
+	etherCol := len(tab.Columns) - 1
+	ether := cell(t, tab, last, etherCol)
+	for c := 1; c < etherCol; c++ {
+		if rofl := cell(t, tab, last, c); rofl >= ether {
+			t.Fatalf("%s: rofl memory %.1f not < ether %.1f", tab.Columns[c], rofl, ether)
+		}
+	}
+}
+
+func TestFig7GrowsWithPoPPopulation(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Fig7(cfg)
+	// Repair cost at the largest IDs-per-PoP must exceed the smallest.
+	first, last := 0, len(tab.Rows)-1
+	grew := false
+	for c := 1; c < len(tab.Columns); c++ {
+		if cell(t, tab, last, c) > cell(t, tab, first, c) {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("repair overhead should grow with PoP population on at least one ISP")
+	}
+}
+
+func TestFig8aOrdering(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Fig8a(cfg)
+	last := len(tab.Rows) - 1
+	eph := cell(t, tab, last, 1)
+	single := cell(t, tab, last, 2)
+	multi := cell(t, tab, last, 3)
+	peering := cell(t, tab, last, 4)
+	if !(eph < single) {
+		t.Fatalf("ephemeral %.0f !< single %.0f", eph, single)
+	}
+	if !(peering > multi) {
+		t.Fatalf("peering %.0f !> multihomed %.0f", peering, multi)
+	}
+	if multi < single*0.5 {
+		t.Fatalf("multihomed %.0f implausibly below single-homed %.0f", multi, single)
+	}
+}
+
+func TestFig8bFingersReduceStretch(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Fig8b(cfg)
+	// Median row (p50 is the 5th row: p10..p50).
+	var p50 int
+	for i, row := range tab.Rows {
+		if row[0] == "p50" {
+			p50 = i
+		}
+	}
+	none := cell(t, tab, p50, 1)
+	many := cell(t, tab, p50, 4)
+	if !(many <= none) {
+		t.Fatalf("280 fingers (%.2f) should not exceed 0 fingers (%.2f) at p50", many, none)
+	}
+}
+
+func TestFig8cCachingHelps(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Fig8c(cfg)
+	first := cell(t, tab, 0, 1)
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	if !(last < first) {
+		t.Fatalf("per-AS caching should cut stretch: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestStubFailMostPathsUnaffected(t *testing.T) {
+	cfg := QuickConfig()
+	tab := StubFail(cfg)
+	for r := range tab.Rows {
+		frac := cell(t, tab, r, 3)
+		if frac > 0.15 {
+			t.Fatalf("trial %d: %.0f%% of paths affected — stub failures must be contained", r, frac*100)
+		}
+	}
+}
+
+func TestBloomPeeringCheaperJoins(t *testing.T) {
+	cfg := QuickConfig()
+	tab := BloomPeering(cfg)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	virtual := cell(t, tab, 0, 1)
+	bloomed := cell(t, tab, 1, 1)
+	if !(bloomed < virtual) {
+		t.Fatalf("bloom joins (%.0f) should undercut virtual-AS joins (%.0f)", bloomed, virtual)
+	}
+}
+
+func TestExtensionsShape(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Extensions(cfg)
+	vals := map[string]map[string]string{}
+	for _, row := range tab.Rows {
+		if vals[row[0]] == nil {
+			vals[row[0]] = map[string]string{}
+		}
+		vals[row[0]][row[1]] = row[2]
+	}
+	if _, ok := vals["anycast"]; !ok {
+		t.Fatal("anycast rows missing")
+	}
+	if got := vals["multicast"]["members-reached"]; got != "10/10" {
+		t.Fatalf("multicast reached %s", got)
+	}
+	first, _ := strconv.ParseFloat(vals["negotiation"]["first-packet-hops-avg"], 64)
+	next, _ := strconv.ParseFloat(vals["negotiation"]["negotiated-hops-avg"], 64)
+	if !(next <= first) {
+		t.Fatalf("negotiated routing (%.2f) must not exceed first-packet greedy (%.2f)", next, first)
+	}
+}
+
+func TestChurnShape(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Churn(cfg)
+	vals := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		vals[row[0]] = v
+	}
+	if !(vals["ephemeral-join"] < vals["stable-join"]) {
+		t.Fatalf("ephemeral join (%.1f) must undercut stable join (%.1f)", vals["ephemeral-join"], vals["stable-join"])
+	}
+	// Failure and mobility comparable to join overhead (§6.2): within an
+	// order of magnitude, not orders.
+	for _, ev := range []string{"host-crash", "mobility", "graceful-leave"} {
+		if vals[ev] > 10*vals["stable-join"] {
+			t.Fatalf("%s (%.1f) far beyond join overhead (%.1f)", ev, vals[ev], vals["stable-join"])
+		}
+	}
+}
+
+func TestMsgSizesShape(t *testing.T) {
+	tab := MsgSizes(QuickConfig())
+	var at256 float64
+	prev := -1.0
+	for _, row := range tab.Rows {
+		b := mustF(t, row[1])
+		if b <= prev {
+			t.Fatalf("sizes must grow with fingers: %v", tab.Rows)
+		}
+		prev = b
+		if row[0] == "256" {
+			at256 = b
+		}
+	}
+	// Paper: 1638 bytes at 256 fingers; our wire format carries the same
+	// entries within 4x of that.
+	if at256 < 1638/2 || at256 > 1638*4 {
+		t.Fatalf("256-finger join = %.0f bytes, implausibly far from the paper's 1638", at256)
+	}
+}
+
+func mustF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCompositeShape(t *testing.T) {
+	cfg := QuickConfig()
+	tab := Composite(cfg)
+	vals := map[string]string{}
+	for _, row := range tab.Rows {
+		vals[row[0]] = row[1]
+	}
+	if vals["intra-AS packets that left their AS"] != "0" {
+		t.Fatal("isolation corollary violated")
+	}
+	if v := mustF(t, vals["cross-AS AS-level hops avg"]); v <= 0 {
+		t.Fatalf("cross-AS hops = %v", v)
+	}
+	if v := mustF(t, vals["join inter msgs avg (per-level Canon joins)"]); v <= 0 {
+		t.Fatalf("inter join msgs = %v", v)
+	}
+}
+
+func TestAblationsCover(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.HostsPerISP = 80
+	cfg.Pairs = 80
+	cfg.InterHosts = 160
+	tab := Ablations(cfg)
+	knobs := map[string]bool{}
+	for _, row := range tab.Rows {
+		knobs[row[0]] = true
+	}
+	for _, want := range []string{"succ-group", "cache-fill", "finger-selection", "teardown-flood"} {
+		if !knobs[want] {
+			t.Fatalf("ablation %q missing", want)
+		}
+	}
+}

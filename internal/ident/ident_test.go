@@ -1,0 +1,405 @@
+package ident
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func id64(v uint64) ID { return FromUint64(v) }
+
+func TestCmpAndLess(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		want int
+	}{
+		{Zero, Zero, 0},
+		{Zero, Max, -1},
+		{Max, Zero, 1},
+		{id64(1), id64(2), -1},
+		{id64(2), id64(1), 1},
+		{id64(7), id64(7), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%s,%s)=%d want %d", c.a.Short(), c.b.Short(), got, c.want)
+		}
+		if got := c.a.Less(c.b); got != (c.want < 0) {
+			t.Errorf("Less(%s,%s)=%v", c.a.Short(), c.b.Short(), got)
+		}
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		return x.Add(y).Sub(y) == x && x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCarriesAcrossBytes(t *testing.T) {
+	a := Max
+	if got := a.Add(one); got != Zero {
+		t.Fatalf("Max+1 = %s, want Zero", got)
+	}
+	if got := Zero.Sub(one); got != Max {
+		t.Fatalf("0-1 = %s, want Max", got)
+	}
+	if got := Zero.Prev(); got != Max {
+		t.Fatalf("Prev(0) = %s, want Max", got)
+	}
+	if got := Max.Next(); got != Zero {
+		t.Fatalf("Next(Max) = %s, want 0", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b, want ID
+	}{
+		{id64(5), id64(9), id64(4)},
+		{id64(9), id64(5), Max.Sub(id64(3))}, // wraps: 2^128 - 4
+		{id64(7), id64(7), Zero},
+		{Zero, Max, Max},
+	}
+	for _, c := range cases {
+		if got := c.a.Distance(c.b); got != c.want {
+			t.Errorf("Distance(%s,%s) = %s want %s", c.a.Short(), c.b.Short(), got, c.want)
+		}
+	}
+}
+
+func TestDistanceAsymmetryProperty(t *testing.T) {
+	// d(a,b) + d(b,a) == 0 mod 2^128 unless a == b, in which case both are 0.
+	f := func(a, b [16]byte) bool {
+		x, y := ID(a), ID(b)
+		sum := x.Distance(y).Add(y.Distance(x))
+		if x == y {
+			return sum == Zero && x.Distance(y) == Zero
+		}
+		return sum == Zero && x.Distance(y) != Zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{id64(5), id64(1), id64(9), true},
+		{id64(9), id64(1), id64(9), true},  // right-inclusive
+		{id64(1), id64(1), id64(9), false}, // left-exclusive
+		{id64(0), id64(1), id64(9), false},
+		{id64(10), id64(1), id64(9), false},
+		// wrapping interval (9, 1]
+		{id64(0), id64(9), id64(1), true},
+		{id64(1), id64(9), id64(1), true},
+		{id64(5), id64(9), id64(1), false},
+		{Max, id64(9), id64(1), true},
+		// degenerate interval (a, a] is the whole circle minus a
+		{id64(3), id64(7), id64(7), true},
+		{id64(7), id64(7), id64(7), false},
+	}
+	for _, c := range cases {
+		if got := Between(c.x, c.a, c.b); got != c.want {
+			t.Errorf("Between(%s, %s, %s) = %v want %v", c.x.Short(), c.a.Short(), c.b.Short(), got, c.want)
+		}
+	}
+}
+
+func TestBetweenOpen(t *testing.T) {
+	if BetweenOpen(id64(9), id64(1), id64(9)) {
+		t.Error("BetweenOpen should exclude the right endpoint")
+	}
+	if !BetweenOpen(id64(5), id64(1), id64(9)) {
+		t.Error("interior point should be in open interval")
+	}
+}
+
+func TestBetweenPartitionProperty(t *testing.T) {
+	// For distinct a, b: every x != a is in exactly one of (a,b] and (b,a]
+	// ... except that both intervals exclude a and x==a is in (b,a].
+	f := func(xr, ar, br [16]byte) bool {
+		x, a, b := ID(xr), ID(ar), ID(br)
+		if a == b {
+			return true
+		}
+		in1 := Between(x, a, b)
+		in2 := Between(x, b, a)
+		if x == a {
+			return !in1 && in2
+		}
+		if x == b {
+			return in1 && !in2
+		}
+		return in1 != in2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	cur, dst := id64(10), id64(100)
+	if !Progress(cur, dst, id64(50)) {
+		t.Error("50 should be progress from 10 toward 100")
+	}
+	if !Progress(cur, dst, dst) {
+		t.Error("destination itself is legal progress")
+	}
+	if Progress(cur, dst, id64(101)) {
+		t.Error("overshoot must be rejected")
+	}
+	if Progress(cur, dst, cur) {
+		t.Error("staying put is not progress")
+	}
+	if Progress(dst, dst, id64(50)) {
+		t.Error("no progress possible when cur == dst")
+	}
+}
+
+func TestProgressStrictlyDecreasesDistance(t *testing.T) {
+	// The loop-freedom core: any legal hop strictly reduces clockwise
+	// distance to the destination.
+	f := func(curR, dstR, candR [16]byte) bool {
+		cur, dst, cand := ID(curR), ID(dstR), ID(candR)
+		if !Progress(cur, dst, cand) {
+			return true
+		}
+		return cand.Distance(dst).Cmp(cur.Distance(dst)) < 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloserWithoutOvershoot(t *testing.T) {
+	cur, dst := id64(10), id64(100)
+	cands := []ID{id64(5), id64(40), id64(90), id64(120), id64(100)}
+	best, ok := CloserWithoutOvershoot(cur, dst, cands)
+	if !ok || best != id64(100) {
+		t.Fatalf("best = %s ok=%v, want exactly dst", best.Short(), ok)
+	}
+	best, ok = CloserWithoutOvershoot(cur, dst, []ID{id64(40), id64(90)})
+	if !ok || best != id64(90) {
+		t.Fatalf("best = %s, want 90", best.Short())
+	}
+	if _, ok := CloserWithoutOvershoot(cur, dst, []ID{id64(5), id64(120)}); ok {
+		t.Fatal("no candidate should qualify")
+	}
+	if _, ok := CloserWithoutOvershoot(cur, dst, nil); ok {
+		t.Fatal("empty candidate set should not qualify")
+	}
+}
+
+func TestCloserWithoutOvershootNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		cur, dst := Random(rng), Random(rng)
+		cands := make([]ID, 8)
+		for j := range cands {
+			cands[j] = Random(rng)
+		}
+		best, ok := CloserWithoutOvershoot(cur, dst, cands)
+		if !ok {
+			continue
+		}
+		if best.Distance(dst).Cmp(cur.Distance(dst)) >= 0 {
+			t.Fatalf("chosen hop does not reduce distance: cur=%s dst=%s best=%s", cur, dst, best)
+		}
+		// best must dominate every other legal candidate.
+		for _, c := range cands {
+			if Progress(cur, dst, c) && c.Distance(dst).Cmp(best.Distance(dst)) < 0 {
+				t.Fatalf("candidate %s beats chosen %s", c, best)
+			}
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := id64(0)
+	if got := CommonPrefixLen(a, a); got != Bits {
+		t.Fatalf("CommonPrefixLen(x,x) = %d want %d", got, Bits)
+	}
+	b := a
+	b[0] = 0x80
+	if got := CommonPrefixLen(a, b); got != 0 {
+		t.Fatalf("differ in first bit: got %d", got)
+	}
+	c := a
+	c[5] = 0x01
+	if got := CommonPrefixLen(a, c); got != 5*8+7 {
+		t.Fatalf("got %d want %d", got, 5*8+7)
+	}
+}
+
+func TestDigitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		id := Random(rng)
+		pos := rng.Intn(Digits)
+		d := rng.Intn(1 << DigitBits)
+		mod := id.WithDigit(pos, d)
+		if got := mod.Digit(pos); got != d {
+			t.Fatalf("WithDigit/Digit mismatch at %d: got %d want %d", pos, got, d)
+		}
+		// Other digits untouched.
+		for p := 0; p < Digits; p++ {
+			if p != pos && mod.Digit(p) != id.Digit(p) {
+				t.Fatalf("digit %d changed unexpectedly", p)
+			}
+		}
+	}
+}
+
+func TestDigitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Digit should panic on out-of-range index")
+		}
+	}()
+	Zero.Digit(Digits)
+}
+
+func TestParseAndString(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		id := Random(rng)
+		got, err := Parse(id.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != id {
+			t.Fatalf("round trip failed: %s != %s", got, id)
+		}
+	}
+	if _, err := Parse("abc"); err == nil {
+		t.Fatal("short string should fail")
+	}
+	if _, err := Parse("zz000000000000000000000000000000"); err == nil {
+		t.Fatal("non-hex string should fail")
+	}
+}
+
+func TestFromBytesDeterministic(t *testing.T) {
+	a := FromString("alpha")
+	b := FromString("alpha")
+	c := FromString("beta")
+	if a != b {
+		t.Fatal("FromString must be deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct inputs should map to distinct labels")
+	}
+}
+
+func TestGroupMembers(t *testing.T) {
+	g := GroupFromString("video-service")
+	m1 := g.Member(1)
+	m2 := g.Member(2)
+	if m1 == m2 {
+		t.Fatal("distinct suffixes must yield distinct members")
+	}
+	if !SameGroup(m1, m2) {
+		t.Fatal("members of one group must share the prefix")
+	}
+	if GroupOf(m1) != g {
+		t.Fatal("GroupOf must invert Member")
+	}
+	if Suffix(m1) != 1 || Suffix(m2) != 2 {
+		t.Fatalf("Suffix round trip failed: %d %d", Suffix(m1), Suffix(m2))
+	}
+	other := GroupFromString("other")
+	if SameGroup(m1, other.Member(1)) {
+		t.Fatal("different groups must not collide")
+	}
+}
+
+func TestGroupMembersAreContiguousOnRing(t *testing.T) {
+	// All members of G sort together: no foreign random ID should fall
+	// between two members except with negligible probability — we verify
+	// the deterministic part: members sorted by suffix are sorted as IDs.
+	g := GroupFromString("g")
+	ids := make([]ID, 10)
+	for i := range ids {
+		ids[i] = g.Member(uint32(i * 1000))
+	}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i].Less(ids[j]) }) {
+		t.Fatal("members with increasing suffix must be sorted on the ring")
+	}
+}
+
+func TestRandomMemberStaysInGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GroupFromString("anycast")
+	for i := 0; i < 100; i++ {
+		if GroupOf(g.RandomMember(rng)) != g {
+			t.Fatal("random member left the group")
+		}
+	}
+}
+
+func TestLow64(t *testing.T) {
+	if got := id64(0xdeadbeef).Low64(); got != 0xdeadbeef {
+		t.Fatalf("Low64 = %#x", got)
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := Random(rng), Random(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Distance(y)
+	}
+}
+
+func BenchmarkCloserWithoutOvershoot(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	cur, dst := Random(rng), Random(rng)
+	cands := make([]ID, 64)
+	for i := range cands {
+		cands[i] = Random(rng)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CloserWithoutOvershoot(cur, dst, cands)
+	}
+}
+
+func TestMarshalersRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		id := Random(rng)
+		txt, err := id.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ID
+		if err := back.UnmarshalText(txt); err != nil || back != id {
+			t.Fatalf("text round trip: %v %v", back, err)
+		}
+		bin, err := id.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back2 ID
+		if err := back2.UnmarshalBinary(bin); err != nil || back2 != id {
+			t.Fatalf("binary round trip: %v %v", back2, err)
+		}
+	}
+	var bad ID
+	if err := bad.UnmarshalText([]byte("zz")); err == nil {
+		t.Fatal("bad text must fail")
+	}
+	if err := bad.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("short binary must fail")
+	}
+}

@@ -1,0 +1,82 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// insecureRand adapts math/rand for deterministic key generation in tests.
+type insecureRand struct{ r *rand.Rand }
+
+func (i insecureRand) Read(p []byte) (int, error) { return i.r.Read(p) }
+
+func testIdentity(t *testing.T, seed int64) *Identity {
+	t.Helper()
+	id, err := NewIdentity(insecureRand{rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestIdentityProofVerifies(t *testing.T) {
+	id := testIdentity(t, 1)
+	nonce := []byte("router-challenge-123")
+	proof := id.Prove(nonce)
+	if err := VerifyProof(id.ID(), nonce, proof); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+}
+
+func TestIdentitySpoofRejected(t *testing.T) {
+	honest := testIdentity(t, 1)
+	attacker := testIdentity(t, 2)
+	nonce := []byte("n")
+	// Attacker claims the honest label but can only sign with its own key.
+	proof := attacker.Prove(nonce)
+	if err := VerifyProof(honest.ID(), nonce, proof); err == nil {
+		t.Fatal("spoofed label must be rejected: key does not hash to label")
+	}
+}
+
+func TestIdentityWrongNonceRejected(t *testing.T) {
+	id := testIdentity(t, 3)
+	proof := id.Prove([]byte("nonce-a"))
+	if err := VerifyProof(id.ID(), []byte("nonce-b"), proof); err == nil {
+		t.Fatal("replayed proof for a different nonce must fail")
+	}
+}
+
+func TestIdentityTamperedSignatureRejected(t *testing.T) {
+	id := testIdentity(t, 4)
+	nonce := []byte("n")
+	proof := id.Prove(nonce)
+	proof.Sig[0] ^= 0xff
+	if err := VerifyProof(id.ID(), nonce, proof); err == nil {
+		t.Fatal("tampered signature must fail")
+	}
+}
+
+func TestIdentityBadKeyLength(t *testing.T) {
+	id := testIdentity(t, 5)
+	proof := id.Prove([]byte("n"))
+	proof.Pub = proof.Pub[:10]
+	if err := VerifyProof(id.ID(), []byte("n"), proof); err == nil {
+		t.Fatal("truncated key must fail")
+	}
+}
+
+func TestIdentityIDMatchesKeyHash(t *testing.T) {
+	id := testIdentity(t, 6)
+	if idOfKey(id.PublicKey()) != id.ID() {
+		t.Fatal("label must be the hash of the public key")
+	}
+}
+
+func TestDistinctIdentitiesDistinctLabels(t *testing.T) {
+	a := testIdentity(t, 7)
+	b := testIdentity(t, 8)
+	if a.ID() == b.ID() {
+		t.Fatal("independent identities collided")
+	}
+}

@@ -1,0 +1,276 @@
+// Package linkstate models the OSPF-like protocol ROFL assumes
+// underneath it (paper §2.1): a link-state protocol that gives every
+// router a map of the physical network — not routes to hosts — detects
+// link and node failures, and notifies the routing layer.
+//
+// In the simulator all routers share one converged map with per-query
+// failure filters; that matches the paper's steady-state assumption
+// ("link/router failures that do not trigger partitions [recover in
+// times] comparable to OSPF recovery times", §6.2) while still charging
+// the flooding cost of each LSA to the metrics sink.
+package linkstate
+
+import (
+	"fmt"
+
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+// Map is the converged link-state view over a static topology plus a
+// dynamic set of failed links and routers.
+type Map struct {
+	g       *topology.Graph
+	metrics sim.Metrics
+
+	failedLink map[[2]topology.NodeID]bool
+	failedNode []bool
+	version    uint64 // bumped on every topology change
+
+	sptCache map[topology.NodeID]*cachedSPT
+
+	linkDownFns []func(a, b topology.NodeID)
+	nodeDownFns []func(n topology.NodeID)
+}
+
+type cachedSPT struct {
+	version uint64
+	spt     topology.SPT
+}
+
+// MsgLinkState is the metrics counter charged for LSA flooding.
+const MsgLinkState = "linkstate-flood"
+
+// New wraps g in a fully-up link-state map charging flood costs to m.
+func New(g *topology.Graph, m sim.Metrics) *Map {
+	return &Map{
+		g:          g,
+		metrics:    m,
+		failedLink: make(map[[2]topology.NodeID]bool),
+		failedNode: make([]bool, g.NumNodes()),
+		sptCache:   make(map[topology.NodeID]*cachedSPT),
+	}
+}
+
+// Graph returns the underlying static topology.
+func (m *Map) Graph() *topology.Graph { return m.g }
+
+// Version increases monotonically with every failure or repair; routing
+// layers use it to invalidate derived state.
+func (m *Map) Version() uint64 { return m.version }
+
+// OnLinkDown registers a callback invoked when a link fails. The paper's
+// routing layer uses this to tear down cached pointers whose source
+// routes traverse the link (§3.2).
+func (m *Map) OnLinkDown(fn func(a, b topology.NodeID)) {
+	m.linkDownFns = append(m.linkDownFns, fn)
+}
+
+// OnNodeDown registers a callback invoked when a router fails.
+func (m *Map) OnNodeDown(fn func(n topology.NodeID)) {
+	m.nodeDownFns = append(m.nodeDownFns, fn)
+}
+
+func linkKey(a, b topology.NodeID) [2]topology.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.NodeID{a, b}
+}
+
+// Up reports whether the a–b link is usable: both endpoints alive and
+// the link itself not failed. It is the LinkFilter all shortest-path
+// queries run under.
+func (m *Map) Up(a, b topology.NodeID) bool {
+	if m.failedNode[a] || m.failedNode[b] {
+		return false
+	}
+	return !m.failedLink[linkKey(a, b)]
+}
+
+// NodeUp reports whether router n is alive.
+func (m *Map) NodeUp(n topology.NodeID) bool { return !m.failedNode[n] }
+
+// floodCost charges one LSA flood: every live router re-floods the
+// advertisement on each of its links once, so the cost is ~2·|E| hops.
+func (m *Map) floodCost() {
+	m.metrics.Count(MsgLinkState, int64(2*m.g.NumEdges()))
+}
+
+func (m *Map) bump() {
+	m.version++
+	// Drop the whole SPT cache; recomputation is lazy.
+	for k := range m.sptCache {
+		delete(m.sptCache, k)
+	}
+}
+
+// FailLink marks the a–b link down, floods the LSA, and fires link-down
+// callbacks.
+func (m *Map) FailLink(a, b topology.NodeID) {
+	k := linkKey(a, b)
+	if m.failedLink[k] {
+		return
+	}
+	m.failedLink[k] = true
+	m.bump()
+	m.floodCost()
+	for _, fn := range m.linkDownFns {
+		fn(a, b)
+	}
+}
+
+// RestoreLink brings the a–b link back.
+func (m *Map) RestoreLink(a, b topology.NodeID) {
+	k := linkKey(a, b)
+	if !m.failedLink[k] {
+		return
+	}
+	delete(m.failedLink, k)
+	m.bump()
+	m.floodCost()
+}
+
+// FailNode marks router n down, floods, and fires node-down callbacks.
+// Routers "monitor link-state advertisements and delete pointers to IDs
+// residing at unreachable routers" (§3.2) via OnNodeDown.
+func (m *Map) FailNode(n topology.NodeID) {
+	if m.failedNode[n] {
+		return
+	}
+	m.failedNode[n] = true
+	m.bump()
+	m.floodCost()
+	for _, fn := range m.nodeDownFns {
+		fn(n)
+	}
+}
+
+// RestoreNode brings router n back.
+func (m *Map) RestoreNode(n topology.NodeID) {
+	if !m.failedNode[n] {
+		return
+	}
+	m.failedNode[n] = false
+	m.bump()
+	m.floodCost()
+}
+
+func (m *Map) spt(src topology.NodeID) topology.SPT {
+	if c, ok := m.sptCache[src]; ok && c.version == m.version {
+		return c.spt
+	}
+	spt := m.g.Dijkstra(src, m.Up)
+	m.sptCache[src] = &cachedSPT{version: m.version, spt: spt}
+	return spt
+}
+
+// Reachable reports whether dst is reachable from src in the current
+// failure state.
+func (m *Map) Reachable(src, dst topology.NodeID) bool {
+	if m.failedNode[src] || m.failedNode[dst] {
+		return false
+	}
+	return m.spt(src).Reachable(dst)
+}
+
+// Path returns the current shortest src→dst router path (inclusive), or
+// nil if unreachable.
+func (m *Map) Path(src, dst topology.NodeID) []topology.NodeID {
+	if m.failedNode[src] || m.failedNode[dst] {
+		return nil
+	}
+	return m.spt(src).PathTo(dst)
+}
+
+// Hops returns the hop count of the current shortest src→dst path, or -1
+// if unreachable.
+func (m *Map) Hops(src, dst topology.NodeID) int {
+	if m.failedNode[src] || m.failedNode[dst] {
+		return -1
+	}
+	spt := m.spt(src)
+	if !spt.Reachable(dst) {
+		return -1
+	}
+	return spt.Hops[dst]
+}
+
+// Latency returns the weighted length of the shortest src→dst path in
+// milliseconds, or -1 if unreachable.
+func (m *Map) Latency(src, dst topology.NodeID) float64 {
+	if m.failedNode[src] || m.failedNode[dst] {
+		return -1
+	}
+	spt := m.spt(src)
+	if !spt.Reachable(dst) {
+		return -1
+	}
+	return spt.Dist[dst]
+}
+
+// NextHop returns the first router after src on the shortest path to
+// dst, and whether one exists. Forwarding in Algorithm 2 resolves the
+// chosen virtual-node pointer to a physical next hop through this.
+func (m *Map) NextHop(src, dst topology.NodeID) (topology.NodeID, bool) {
+	p := m.Path(src, dst)
+	if len(p) < 2 {
+		return 0, false
+	}
+	return p[1], true
+}
+
+// Component returns the set of routers reachable from start under the
+// current failure state. Partition-repair (§3.2) is driven by
+// per-component zero-node election.
+func (m *Map) Component(start topology.NodeID) []topology.NodeID {
+	if m.failedNode[start] {
+		return nil
+	}
+	comp := m.g.Component(start, m.Up)
+	out := comp[:0]
+	for _, n := range comp {
+		if !m.failedNode[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SamePartition reports whether a and b are currently in the same
+// network-layer partition.
+func (m *Map) SamePartition(a, b topology.NodeID) bool {
+	return m.Reachable(a, b)
+}
+
+// PathOK reports whether every consecutive hop of a recorded source
+// route is still usable — the validity check applied to cached pointers
+// before forwarding over them.
+func (m *Map) PathOK(path []topology.NodeID) bool {
+	if len(path) == 0 {
+		return false
+	}
+	if m.failedNode[path[0]] {
+		return false
+	}
+	for i := 1; i < len(path); i++ {
+		if m.failedNode[path[i]] || !m.Up(path[i-1], path[i]) {
+			return false
+		}
+		if !m.g.HasEdge(path[i-1], path[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the map state.
+func (m *Map) String() string {
+	down := 0
+	for _, f := range m.failedNode {
+		if f {
+			down++
+		}
+	}
+	return fmt.Sprintf("linkstate{v=%d failedLinks=%d failedNodes=%d}", m.version, len(m.failedLink), down)
+}

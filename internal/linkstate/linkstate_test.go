@@ -1,0 +1,195 @@
+package linkstate
+
+import (
+	"testing"
+
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+// ring4 builds 0-1-2-3-0 with unit weights.
+func ring4() *topology.Graph {
+	g := topology.NewGraph(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode()
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	return g
+}
+
+func newMap(t *testing.T) (*Map, sim.Metrics) {
+	t.Helper()
+	m := sim.NewMetrics()
+	return New(ring4(), m), m
+}
+
+func TestShortestPathsAllUp(t *testing.T) {
+	ls, _ := newMap(t)
+	if h := ls.Hops(0, 2); h != 2 {
+		t.Fatalf("hops(0,2) = %d want 2", h)
+	}
+	if h := ls.Hops(0, 1); h != 1 {
+		t.Fatalf("hops(0,1) = %d", h)
+	}
+	nh, ok := ls.NextHop(0, 1)
+	if !ok || nh != 1 {
+		t.Fatalf("next hop = %d ok=%v", nh, ok)
+	}
+	if lat := ls.Latency(0, 2); lat != 2 {
+		t.Fatalf("latency = %v", lat)
+	}
+	if !ls.Reachable(0, 3) {
+		t.Fatal("all up: everything reachable")
+	}
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	ls, m := newMap(t)
+	before := ls.Hops(0, 1)
+	ls.FailLink(0, 1)
+	if ls.Up(0, 1) || ls.Up(1, 0) {
+		t.Fatal("link must be down in both directions")
+	}
+	after := ls.Hops(0, 1)
+	if before != 1 || after != 3 {
+		t.Fatalf("hops before=%d after=%d want 1 then 3", before, after)
+	}
+	if m.Counter(MsgLinkState) == 0 {
+		t.Fatal("LSA flood must be charged")
+	}
+	// Idempotent re-fail: no double flood.
+	c := m.Counter(MsgLinkState)
+	ls.FailLink(1, 0)
+	if m.Counter(MsgLinkState) != c {
+		t.Fatal("re-failing same link must be a no-op")
+	}
+	ls.RestoreLink(0, 1)
+	if ls.Hops(0, 1) != 1 {
+		t.Fatal("restore must reinstate direct path")
+	}
+	ls.RestoreLink(0, 1) // idempotent
+}
+
+func TestFailNode(t *testing.T) {
+	ls, _ := newMap(t)
+	ls.FailNode(1)
+	if ls.NodeUp(1) {
+		t.Fatal("node must be down")
+	}
+	if ls.Reachable(0, 1) || ls.Reachable(1, 0) {
+		t.Fatal("failed node unreachable")
+	}
+	if h := ls.Hops(0, 2); h != 2 {
+		t.Fatalf("0->2 must route around: %d", h)
+	}
+	if ls.Path(0, 1) != nil || ls.Hops(0, 1) != -1 || ls.Latency(0, 1) != -1 {
+		t.Fatal("queries to failed node must fail cleanly")
+	}
+	ls.RestoreNode(1)
+	if !ls.Reachable(0, 1) {
+		t.Fatal("restored node reachable")
+	}
+}
+
+func TestPartitionAndComponent(t *testing.T) {
+	ls, _ := newMap(t)
+	ls.FailLink(0, 1)
+	ls.FailLink(2, 3)
+	if ls.SamePartition(0, 2) {
+		t.Fatal("0 and 2 must be partitioned")
+	}
+	if !ls.SamePartition(1, 2) || !ls.SamePartition(0, 3) {
+		t.Fatal("halves must stay internally connected")
+	}
+	c0 := ls.Component(0)
+	if len(c0) != 2 || c0[0] != 0 || c0[1] != 3 {
+		t.Fatalf("component(0) = %v", c0)
+	}
+	ls.FailNode(0)
+	if ls.Component(0) != nil {
+		t.Fatal("component of failed node is nil")
+	}
+}
+
+func TestCallbacks(t *testing.T) {
+	ls, _ := newMap(t)
+	var links [][2]topology.NodeID
+	var nodes []topology.NodeID
+	ls.OnLinkDown(func(a, b topology.NodeID) { links = append(links, [2]topology.NodeID{a, b}) })
+	ls.OnNodeDown(func(n topology.NodeID) { nodes = append(nodes, n) })
+	ls.FailLink(0, 1)
+	ls.FailNode(2)
+	if len(links) != 1 || links[0] != [2]topology.NodeID{0, 1} {
+		t.Fatalf("link callbacks = %v", links)
+	}
+	if len(nodes) != 1 || nodes[0] != 2 {
+		t.Fatalf("node callbacks = %v", nodes)
+	}
+}
+
+func TestVersionBumpsAndCacheInvalidation(t *testing.T) {
+	ls, _ := newMap(t)
+	v0 := ls.Version()
+	_ = ls.Hops(0, 2) // warm cache
+	ls.FailLink(1, 2)
+	if ls.Version() == v0 {
+		t.Fatal("version must bump on failure")
+	}
+	if h := ls.Hops(0, 2); h != 2 {
+		// still 2 via 3: 0-3-2
+		t.Fatalf("post-failure hops = %d want 2", h)
+	}
+	if h := ls.Hops(1, 2); h != 3 {
+		t.Fatalf("1->2 must detour: %d", h)
+	}
+}
+
+func TestPathOK(t *testing.T) {
+	ls, _ := newMap(t)
+	good := []topology.NodeID{0, 1, 2}
+	if !ls.PathOK(good) {
+		t.Fatal("intact path must be OK")
+	}
+	ls.FailLink(1, 2)
+	if ls.PathOK(good) {
+		t.Fatal("path over failed link must be rejected")
+	}
+	ls.RestoreLink(1, 2)
+	ls.FailNode(1)
+	if ls.PathOK(good) {
+		t.Fatal("path through failed node must be rejected")
+	}
+	if ls.PathOK(nil) {
+		t.Fatal("empty path is not OK")
+	}
+	if ls.PathOK([]topology.NodeID{0, 2}) {
+		t.Fatal("path over non-existent edge must be rejected")
+	}
+	if !ls.PathOK([]topology.NodeID{0}) {
+		t.Fatal("single live node is a valid degenerate path")
+	}
+}
+
+func TestNextHopUnreachable(t *testing.T) {
+	ls, _ := newMap(t)
+	ls.FailNode(1)
+	ls.FailNode(3)
+	if _, ok := ls.NextHop(0, 2); ok {
+		t.Fatal("no next hop across partition")
+	}
+	if _, ok := ls.NextHop(0, 0); ok {
+		t.Fatal("no next hop to self")
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	ls, _ := newMap(t)
+	ls.FailLink(0, 1)
+	ls.FailNode(2)
+	if ls.String() == "" {
+		t.Fatal("String must render")
+	}
+}

@@ -1,0 +1,620 @@
+// Package overlay runs the intradomain ROFL protocol over real UDP
+// sockets: nodes carry flat labels, splice themselves into a successor
+// ring by greedy-routing join requests (paper §3.1), and forward data
+// packets to the closest identifier that does not overshoot the
+// destination (Algorithm 2). It demonstrates that the state machines the
+// simulator measures also run outside it, using the binary wire format
+// of package wire on the wire.
+//
+// The overlay is deliberately one level (no physical-topology source
+// routes — every node can reach every other over UDP, playing the role
+// the OSPF substrate plays inside an ISP).
+package overlay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rofl/internal/ident"
+	"rofl/internal/wire"
+)
+
+// ErrTimeout reports a request that received no answer in time.
+var ErrTimeout = errors.New("overlay: request timed out")
+
+// entry pairs an identifier with the UDP address hosting it.
+type entry struct {
+	ID   ident.ID
+	Addr string
+}
+
+// encodeEntries serializes pointer entries into a packet payload:
+// count(2) then per entry id(16) addrLen(2) addr.
+func encodeEntries(es []entry) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(len(es)))
+	for _, e := range es {
+		buf = append(buf, e.ID[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Addr)))
+		buf = append(buf, e.Addr...)
+	}
+	return buf
+}
+
+func decodeEntries(b []byte) ([]entry, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("overlay: short entry list")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	out := make([]entry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < ident.Size+2 {
+			return nil, fmt.Errorf("overlay: truncated entry %d", i)
+		}
+		var e entry
+		copy(e.ID[:], b[:ident.Size])
+		b = b[ident.Size:]
+		alen := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < alen {
+			return nil, fmt.Errorf("overlay: truncated address %d", i)
+		}
+		e.Addr = string(b[:alen])
+		b = b[alen:]
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Delivery is handed to the application when a data packet arrives.
+type Delivery struct {
+	Src     ident.ID
+	Payload []byte
+}
+
+// Gate decides whether a data packet may be delivered to the local
+// application — the hook ROFL's default-off / capability admission
+// (paper §5.3) plugs into. The capability bytes come straight from the
+// packet's wire header.
+type Gate func(src ident.ID, capability []byte) error
+
+// Node is one overlay participant: a flat label bound to a UDP socket.
+type Node struct {
+	id   ident.ID
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	succs  []entry // successor group, ascending from id
+	pred   *entry
+	closed bool
+
+	deliveries chan Delivery
+	joined     chan struct{} // closed when a join reply arrives
+	joinOnce   sync.Once
+	gate       Gate
+
+	stabilizeStop chan struct{}
+	stabilizeOnce sync.Once
+	// succMisses counts consecutive stabilization rounds without a reply
+	// from the current successor; past a threshold the successor is
+	// declared dead and the group shifts down (§2.2 successor-groups).
+	succMisses int
+
+	wg sync.WaitGroup
+}
+
+// SuccessorGroupSize is the number of successors an overlay node keeps.
+const SuccessorGroupSize = 3
+
+// NewNode binds a node to a UDP address ("127.0.0.1:0" picks a free
+// port) and starts its receive loop.
+func NewNode(id ident.ID, bind string) (*Node, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: resolving %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: listening: %w", err)
+	}
+	n := &Node{
+		id:         id,
+		conn:       conn,
+		deliveries: make(chan Delivery, 64),
+		joined:     make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.readLoop()
+	return n, nil
+}
+
+// ID returns the node's flat label.
+func (n *Node) ID() ident.ID { return n.id }
+
+// Addr returns the node's UDP address string.
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// Deliveries returns the channel of received data packets.
+func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
+
+// SetGate installs an admission gate consulted before any data packet is
+// delivered locally; packets the gate rejects are dropped silently, as a
+// default-off router would drop them (§5.3). Call before traffic starts.
+func (n *Node) SetGate(g Gate) {
+	n.mu.Lock()
+	n.gate = g
+	n.mu.Unlock()
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	stop := n.stabilizeStop
+	n.mu.Unlock()
+	if stop != nil {
+		n.stabilizeOnce.Do(func() { close(stop) })
+	}
+	err := n.conn.Close()
+	n.wg.Wait()
+	close(n.deliveries)
+	return err
+}
+
+// succFailThreshold is how many missed stabilization replies declare the
+// successor dead.
+const succFailThreshold = 4
+
+// StartStabilize runs Chord-style stabilization every interval: the node
+// asks its successor for the successor's current predecessor and adopts
+// it when it falls between them, repairing rings assembled by concurrent
+// joins; a successor that misses several consecutive rounds is declared
+// dead and the successor group shifts down, exactly the failover role
+// the paper assigns to successor-groups (§2.2). The paper's virtual
+// nodes "piggyback probes on data packets to ensure this state is
+// maintained correctly" (§4.1); a timer plays that role in the overlay.
+func (n *Node) StartStabilize(interval time.Duration) {
+	n.mu.Lock()
+	if n.closed || n.stabilizeStop != nil {
+		n.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	n.stabilizeStop = stop
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				n.stabilizeOnceRound()
+			}
+		}
+	}()
+}
+
+func (n *Node) stabilizeOnceRound() {
+	n.mu.Lock()
+	if len(n.succs) == 0 || n.succs[0].ID == n.id {
+		n.mu.Unlock()
+		return
+	}
+	// A successor that stays silent across several rounds is dead: shift
+	// the group down. If the group empties, collapse to a self-ring and
+	// wait for someone to find us.
+	n.succMisses++
+	if n.succMisses > succFailThreshold {
+		dead := n.succs[0]
+		n.succs = n.succs[1:]
+		if len(n.succs) == 0 {
+			self := entry{ID: n.id, Addr: n.Addr()}
+			n.succs = []entry{self}
+		}
+		if n.pred != nil && n.pred.ID == dead.ID {
+			n.pred = nil
+		}
+		n.succMisses = 0
+	}
+	succ := n.succs[0]
+	self := entry{ID: n.id, Addr: n.Addr()}
+	n.mu.Unlock()
+	if succ.ID == n.id {
+		return
+	}
+	pkt := &wire.Packet{
+		Type: wire.TypeStabilize, TTL: wire.DefaultTTL,
+		Dst: succ.ID, Src: n.id,
+		Payload: encodeEntries([]entry{self}),
+	}
+	_ = n.send(succ.Addr, pkt)
+}
+
+func (n *Node) handleStabilize(pkt *wire.Packet) {
+	es, err := decodeEntries(pkt.Payload)
+	if err != nil || len(es) != 1 {
+		return
+	}
+	asker := es[0]
+	n.mu.Lock()
+	// The asker believes we are its successor; adopt it as predecessor
+	// when it falls between our current predecessor and us.
+	if n.pred == nil || ident.Between(asker.ID, n.pred.ID, n.id) {
+		p := asker
+		n.pred = &p
+	}
+	reply := make([]entry, 0, 1+len(n.succs))
+	if n.pred != nil {
+		reply = append(reply, *n.pred)
+	} else {
+		reply = append(reply, entry{ID: n.id, Addr: n.Addr()})
+	}
+	reply = append(reply, n.succs...)
+	n.mu.Unlock()
+	out := &wire.Packet{
+		Type: wire.TypeStabilizeReply, TTL: wire.DefaultTTL,
+		Dst: asker.ID, Src: n.id,
+		Payload: encodeEntries(reply),
+	}
+	_ = n.send(asker.Addr, out)
+}
+
+func (n *Node) handleStabilizeReply(pkt *wire.Packet) {
+	es, err := decodeEntries(pkt.Payload)
+	if err != nil || len(es) < 1 {
+		return
+	}
+	succPred := es[0]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) == 0 {
+		return
+	}
+	if pkt.Src == n.succs[0].ID {
+		n.succMisses = 0 // the successor is alive
+	}
+	// If our successor knows a predecessor between us and it, that node
+	// is our true successor.
+	if succPred.ID != n.id && ident.BetweenOpen(succPred.ID, n.id, n.succs[0].ID) {
+		n.succs = append([]entry{succPred}, n.succs...)
+	}
+	// Refresh the successor group from the successor's own list.
+	group := n.succs[:1]
+	for _, e := range es[1:] {
+		if len(group) >= SuccessorGroupSize {
+			break
+		}
+		if e.ID != n.id && e.ID != group[len(group)-1].ID {
+			group = append(group, e)
+		}
+	}
+	n.succs = group
+}
+
+// SuccessorGroup returns a snapshot of the successor group's
+// identifiers.
+func (n *Node) SuccessorGroup() []ident.ID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ident.ID, len(n.succs))
+	for i, e := range n.succs {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Successor returns the immediate successor (for tests and ring
+// inspection).
+func (n *Node) Successor() (ident.ID, string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) == 0 {
+		return ident.ID{}, "", false
+	}
+	return n.succs[0].ID, n.succs[0].Addr, true
+}
+
+// Predecessor returns the predecessor pointer.
+func (n *Node) Predecessor() (ident.ID, string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred == nil {
+		return ident.ID{}, "", false
+	}
+	return n.pred.ID, n.pred.Addr, true
+}
+
+// Bootstrap makes this node the first ring member: it is its own
+// successor and predecessor.
+func (n *Node) Bootstrap() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	self := entry{ID: n.id, Addr: n.Addr()}
+	n.succs = []entry{self}
+	n.pred = &self
+}
+
+// Join splices the node into the ring through any existing member: a
+// join request is greedy-routed toward the node's own identifier; the
+// predecessor that receives it replies with the successor set and
+// notifies its old successor (§3.1).
+func (n *Node) Join(via string, timeout time.Duration) error {
+	pkt := &wire.Packet{
+		Type: wire.TypeJoinRequest,
+		TTL:  wire.DefaultTTL,
+		Dst:  n.id,
+		Src:  n.id,
+		// Payload carries our address so the predecessor can answer and
+		// the ring can point at us.
+		Payload: encodeEntries([]entry{{ID: n.id, Addr: n.Addr()}}),
+	}
+	if err := n.send(via, pkt); err != nil {
+		return err
+	}
+	select {
+	case <-n.joined:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("%w: join via %s", ErrTimeout, via)
+	}
+}
+
+// Send greedy-routes a data payload toward dst.
+func (n *Node) Send(dst ident.ID, payload []byte) error {
+	return n.SendWithCapability(dst, payload, nil)
+}
+
+// SendWithCapability greedy-routes a data payload carrying a capability
+// token in the wire header (§5.3): the destination's gate verifies it
+// before delivering.
+func (n *Node) SendWithCapability(dst ident.ID, payload, capability []byte) error {
+	pkt := &wire.Packet{
+		Type:       wire.TypeData,
+		TTL:        wire.DefaultTTL,
+		Dst:        dst,
+		Src:        n.id,
+		Capability: capability,
+		Payload:    payload,
+	}
+	return n.forward(pkt)
+}
+
+func (n *Node) send(addr string, pkt *wire.Packet) error {
+	buf, err := pkt.Marshal()
+	if err != nil {
+		return fmt.Errorf("overlay: marshal: %w", err)
+	}
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("overlay: resolving %q: %w", addr, err)
+	}
+	if _, err := n.conn.WriteToUDP(buf, udp); err != nil {
+		return fmt.Errorf("overlay: sending to %s: %w", addr, err)
+	}
+	return nil
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		var pkt wire.Packet
+		if err := pkt.DecodeFromBytes(buf[:sz]); err != nil {
+			continue // drop malformed datagrams
+		}
+		n.handle(&pkt)
+	}
+}
+
+func (n *Node) handle(pkt *wire.Packet) {
+	switch pkt.Type {
+	case wire.TypeData:
+		if pkt.Dst == n.id {
+			n.mu.Lock()
+			gate := n.gate
+			n.mu.Unlock()
+			if gate != nil {
+				if err := gate(pkt.Src, pkt.Capability); err != nil {
+					return // default-off: drop unauthorized traffic
+				}
+			}
+			n.deliver(Delivery{Src: pkt.Src, Payload: append([]byte(nil), pkt.Payload...)})
+			return
+		}
+		if pkt.TTL == 0 {
+			return
+		}
+		pkt.TTL--
+		_ = n.forward(pkt)
+	case wire.TypeJoinRequest:
+		n.handleJoin(pkt)
+	case wire.TypeJoinReply:
+		n.handleJoinReply(pkt)
+	case wire.TypeAck:
+		n.handleNotify(pkt)
+	case wire.TypeStabilize:
+		n.handleStabilize(pkt)
+	case wire.TypeStabilizeReply:
+		n.handleStabilizeReply(pkt)
+	}
+}
+
+func (n *Node) deliver(d Delivery) {
+	select {
+	case n.deliveries <- d:
+	default:
+		// Application is not draining; drop rather than block the loop.
+	}
+}
+
+// forward implements greedy next-hop choice over the node's ring
+// pointers: closest to pkt.Dst without overshooting our own position.
+func (n *Node) forward(pkt *wire.Packet) error {
+	n.mu.Lock()
+	var best *entry
+	var bestDist ident.ID
+	consider := func(e *entry) {
+		if e.ID == n.id || !ident.Progress(n.id, pkt.Dst, e.ID) {
+			return
+		}
+		d := e.ID.Distance(pkt.Dst)
+		if best == nil || d.Cmp(bestDist) < 0 {
+			best, bestDist = e, d
+		}
+	}
+	for i := range n.succs {
+		consider(&n.succs[i])
+	}
+	if n.pred != nil {
+		consider(n.pred)
+	}
+	n.mu.Unlock()
+	if best == nil {
+		// We are the destination's predecessor and it is not present:
+		// drop (the overlay has no parked ephemerals).
+		return nil
+	}
+	return n.send(best.Addr, pkt)
+}
+
+// handleJoin runs at every node a join request traverses. If the joining
+// identifier falls between us and our successor, we are its predecessor:
+// reply with the successor set, adopt the joiner as our new successor,
+// and notify the old successor to update its predecessor. Otherwise
+// forward greedily.
+func (n *Node) handleJoin(pkt *wire.Packet) {
+	src, err := decodeEntries(pkt.Payload)
+	if err != nil || len(src) != 1 {
+		return
+	}
+	joiner := src[0]
+	n.mu.Lock()
+	if len(n.succs) == 0 {
+		n.mu.Unlock()
+		return // not bootstrapped yet
+	}
+	succ := n.succs[0]
+	isPred := succ.ID == n.id || ident.Between(joiner.ID, n.id, succ.ID)
+	if !isPred {
+		n.mu.Unlock()
+		if pkt.TTL == 0 {
+			return
+		}
+		pkt.TTL--
+		_ = n.forward(pkt)
+		return
+	}
+	// Splice: joiner inherits our successor set; we adopt the joiner.
+	reply := make([]entry, 0, SuccessorGroupSize+1)
+	reply = append(reply, entry{ID: n.id, Addr: n.Addr()}) // predecessor first
+	reply = append(reply, n.succs...)
+	newSuccs := make([]entry, 0, SuccessorGroupSize)
+	newSuccs = append(newSuccs, joiner)
+	for _, e := range n.succs {
+		if len(newSuccs) >= SuccessorGroupSize {
+			break
+		}
+		if e.ID != joiner.ID && e.ID != n.id {
+			newSuccs = append(newSuccs, e)
+		}
+	}
+	n.succs = newSuccs
+	if succ.ID == n.id {
+		// We were alone; in a two-node ring the joiner is also our
+		// predecessor.
+		n.pred = &joiner
+	}
+	oldSucc := succ
+	n.mu.Unlock()
+
+	out := &wire.Packet{
+		Type: wire.TypeJoinReply, TTL: wire.DefaultTTL,
+		Dst: joiner.ID, Src: n.id,
+		Payload: encodeEntries(reply),
+	}
+	_ = n.send(joiner.Addr, out)
+	// Tell the old successor its predecessor changed.
+	if oldSucc.ID != n.id {
+		notify := &wire.Packet{
+			Type: wire.TypeAck, TTL: wire.DefaultTTL,
+			Dst: oldSucc.ID, Src: n.id,
+			Payload: encodeEntries([]entry{joiner}),
+		}
+		_ = n.send(oldSucc.Addr, notify)
+	}
+}
+
+func (n *Node) handleJoinReply(pkt *wire.Packet) {
+	es, err := decodeEntries(pkt.Payload)
+	if err != nil || len(es) < 1 {
+		return
+	}
+	n.mu.Lock()
+	pred := es[0]
+	n.pred = &pred
+	succs := make([]entry, 0, SuccessorGroupSize)
+	for _, e := range es[1:] {
+		if e.ID == n.id {
+			continue
+		}
+		succs = append(succs, e)
+		if len(succs) >= SuccessorGroupSize {
+			break
+		}
+	}
+	if len(succs) == 0 {
+		// Two-node ring: our predecessor is also our successor.
+		succs = append(succs, pred)
+	}
+	n.succs = succs
+	n.mu.Unlock()
+	n.joinOnce.Do(func() { close(n.joined) })
+}
+
+func (n *Node) handleNotify(pkt *wire.Packet) {
+	es, err := decodeEntries(pkt.Payload)
+	if err != nil || len(es) != 1 {
+		return
+	}
+	p := es[0]
+	n.mu.Lock()
+	// Adopt the notified predecessor only when it improves on the
+	// current one — unconditional adoption would let stale notifications
+	// from concurrent joins regress the ring.
+	if n.pred == nil || n.pred.ID == n.id || ident.Between(p.ID, n.pred.ID, n.id) {
+		n.pred = &p
+	}
+	n.mu.Unlock()
+}
+
+// Ring returns the node's view of the ring, for debugging: predecessor,
+// self, then successors.
+func (n *Node) Ring() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	if n.pred != nil {
+		out = append(out, "pred:"+n.pred.ID.Short())
+	}
+	out = append(out, "self:"+n.id.Short())
+	for _, s := range n.succs {
+		out = append(out, "succ:"+s.ID.Short())
+	}
+	return out
+}

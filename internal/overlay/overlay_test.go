@@ -1,0 +1,389 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"rofl/internal/ident"
+)
+
+const joinTimeout = 2 * time.Second
+
+// startRing boots n nodes on localhost and joins them sequentially.
+func startRing(t *testing.T, n int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		id := ident.FromString(fmt.Sprintf("overlay-node-%d", i))
+		node, err := NewNode(id, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		if i == 0 {
+			node.Bootstrap()
+		} else {
+			if err := node.Join(nodes[0].Addr(), joinTimeout); err != nil {
+				t.Fatalf("join node %d: %v", i, err)
+			}
+		}
+		nodes = append(nodes, node)
+	}
+	return nodes
+}
+
+// ringConsistent verifies that successor pointers trace the sorted order.
+func ringConsistent(t *testing.T, nodes []*Node) {
+	t.Helper()
+	sorted := append([]*Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID().Less(sorted[j].ID()) })
+	for i, node := range sorted {
+		want := sorted[(i+1)%len(sorted)].ID()
+		got, _, ok := node.Successor()
+		if !ok {
+			t.Fatalf("node %s has no successor", node.ID().Short())
+		}
+		if got != want {
+			t.Fatalf("node %s successor = %s want %s", node.ID().Short(), got.Short(), want.Short())
+		}
+		wantPred := sorted[(i-1+len(sorted))%len(sorted)].ID()
+		gotPred, _, ok := node.Predecessor()
+		if !ok || gotPred != wantPred {
+			t.Fatalf("node %s predecessor = %s want %s", node.ID().Short(), gotPred.Short(), wantPred.Short())
+		}
+	}
+}
+
+func TestTwoNodeRing(t *testing.T) {
+	nodes := startRing(t, 2)
+	ringConsistent(t, nodes)
+}
+
+func TestEightNodeRingConsistent(t *testing.T) {
+	nodes := startRing(t, 8)
+	ringConsistent(t, nodes)
+}
+
+func TestDataDeliveryAllPairs(t *testing.T) {
+	nodes := startRing(t, 6)
+	for i, src := range nodes {
+		for j, dst := range nodes {
+			if i == j {
+				continue
+			}
+			msg := []byte(fmt.Sprintf("hello %d->%d", i, j))
+			if err := src.Send(dst.ID(), msg); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case d := <-dst.Deliveries():
+				if string(d.Payload) != string(msg) {
+					t.Fatalf("payload = %q want %q", d.Payload, msg)
+				}
+				if d.Src != src.ID() {
+					t.Fatalf("src = %s want %s", d.Src.Short(), src.ID().Short())
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatalf("packet %d->%d not delivered", i, j)
+			}
+		}
+	}
+}
+
+func TestSendToAbsentIDIsDropped(t *testing.T) {
+	nodes := startRing(t, 3)
+	if err := nodes[0].Send(ident.FromString("ghost"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing should arrive anywhere.
+	for _, n := range nodes {
+		select {
+		case d := <-n.Deliveries():
+			t.Fatalf("ghost packet delivered to %s: %q", n.ID().Short(), d.Payload)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func TestJoinViaNonBootstrapMember(t *testing.T) {
+	nodes := startRing(t, 4)
+	id := ident.FromString("late-joiner")
+	late, err := NewNode(id, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { late.Close() })
+	// Join through the last node, not the bootstrap.
+	if err := late.Join(nodes[3].Addr(), joinTimeout); err != nil {
+		t.Fatal(err)
+	}
+	ringConsistent(t, append(nodes, late))
+	// And the late joiner is reachable.
+	if err := nodes[1].Send(id, []byte("welcome")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-late.Deliveries():
+		if string(d.Payload) != "welcome" {
+			t.Fatalf("payload = %q", d.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("late joiner unreachable")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	n, err := NewNode(ident.FromString("solo"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Bootstrap()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinTimeoutAgainstDeadAddress(t *testing.T) {
+	n, err := NewNode(ident.FromString("lost"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	// 127.0.0.1:1 is almost certainly not listening; the join must time
+	// out rather than hang.
+	err = n.Join("127.0.0.1:1", 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("join against dead address should fail")
+	}
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	in := []entry{
+		{ID: ident.FromString("a"), Addr: "127.0.0.1:1000"},
+		{ID: ident.FromString("b"), Addr: "[::1]:2000"},
+	}
+	out, err := decodeEntries(encodeEntries(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip: %v", out)
+	}
+	if _, err := decodeEntries([]byte{0}); err == nil {
+		t.Fatal("short buffer must fail")
+	}
+	if _, err := decodeEntries([]byte{0, 5, 1, 2}); err == nil {
+		t.Fatal("truncated entries must fail")
+	}
+}
+
+func TestRingDebugString(t *testing.T) {
+	nodes := startRing(t, 2)
+	if len(nodes[0].Ring()) == 0 {
+		t.Fatal("Ring() must render")
+	}
+}
+
+func TestGateDropsUnauthorized(t *testing.T) {
+	nodes := startRing(t, 3)
+	dst := nodes[2]
+	authorized := ident.FromString("overlay-node-0") // nodes[0]'s label
+	dst.SetGate(func(src ident.ID, capability []byte) error {
+		if src == authorized && string(capability) == "token" {
+			return nil
+		}
+		return fmt.Errorf("denied")
+	})
+	// Unauthorized sender: dropped.
+	if err := nodes[1].Send(dst.ID(), []byte("sneaky")); err != nil {
+		t.Fatal(err)
+	}
+	// Right sender, no token: dropped.
+	if err := nodes[0].Send(dst.ID(), []byte("no token")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-dst.Deliveries():
+		t.Fatalf("unauthorized packet delivered: %q", d.Payload)
+	case <-time.After(200 * time.Millisecond):
+	}
+	// Right sender with the token: delivered.
+	if err := nodes[0].SendWithCapability(dst.ID(), []byte("hello"), []byte("token")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-dst.Deliveries():
+		if string(d.Payload) != "hello" {
+			t.Fatalf("payload %q", d.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("authorized packet not delivered")
+	}
+}
+
+func TestConcurrentJoinsConvergeWithStabilization(t *testing.T) {
+	// Join 7 nodes through the bootstrap CONCURRENTLY — splices race —
+	// then let stabilization repair the ring.
+	boot, err := NewNode(ident.FromString("concurrent-boot"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { boot.Close() })
+	boot.Bootstrap()
+
+	const n = 7
+	nodes := []*Node{boot}
+	errs := make(chan error, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			node, err := NewNode(ident.FromString(fmt.Sprintf("concurrent-%d", i)), "127.0.0.1:0")
+			if err != nil {
+				errs <- err
+				return
+			}
+			t.Cleanup(func() { node.Close() })
+			if err := node.Join(boot.Addr(), 3*time.Second); err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			nodes = append(nodes, node)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, node := range nodes {
+		node.StartStabilize(25 * time.Millisecond)
+	}
+	// Poll until the ring is consistent (or time out).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ringIsConsistent(nodes) {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, node := range nodes {
+				t.Logf("%s: %v", node.ID().Short(), node.Ring())
+			}
+			t.Fatal("stabilization did not converge")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// After convergence, all-pairs delivery works.
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			if err := src.Send(dst.ID(), []byte("post-stabilize")); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-dst.Deliveries():
+			case <-time.After(2 * time.Second):
+				t.Fatalf("delivery %s->%s failed after convergence", src.ID().Short(), dst.ID().Short())
+			}
+		}
+	}
+}
+
+// ringIsConsistent is the non-fatal variant of ringConsistent.
+func ringIsConsistent(nodes []*Node) bool {
+	sorted := append([]*Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID().Less(sorted[j].ID()) })
+	for i, node := range sorted {
+		want := sorted[(i+1)%len(sorted)].ID()
+		got, _, ok := node.Successor()
+		if !ok || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStabilizeIdempotentOnConsistentRing(t *testing.T) {
+	nodes := startRing(t, 4)
+	for _, n := range nodes {
+		n.StartStabilize(20 * time.Millisecond)
+		n.StartStabilize(20 * time.Millisecond) // double start is a no-op
+	}
+	time.Sleep(300 * time.Millisecond)
+	ringConsistent(t, nodes)
+}
+
+func TestSuccessorFailoverHealsRing(t *testing.T) {
+	nodes := startRing(t, 5)
+	for _, n := range nodes {
+		n.StartStabilize(20 * time.Millisecond)
+	}
+	// Wait until every node's successor group has fallback entries —
+	// failover needs group depth, and group refresh rides on
+	// stabilization replies (condition-based to stay robust under CPU
+	// starvation).
+	warm := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for _, n := range nodes {
+			if len(n.SuccessorGroup()) < 2 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(warm) {
+			t.Fatal("successor groups never filled")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Kill one non-bootstrap node.
+	victim := nodes[2]
+	victim.Close()
+	survivors := append(append([]*Node{}, nodes[:2]...), nodes[3:]...)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if ringIsConsistent(survivors) {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, n := range survivors {
+				t.Logf("%s: %v", n.ID().Short(), n.Ring())
+			}
+			t.Fatal("ring did not heal after successor failure")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Survivors can still reach each other.
+	for _, src := range survivors {
+		for _, dst := range survivors {
+			if src == dst {
+				continue
+			}
+			if err := src.Send(dst.ID(), []byte("healed")); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-dst.Deliveries():
+			case <-time.After(5 * time.Second):
+				t.Fatalf("delivery %s->%s failed after heal", src.ID().Short(), dst.ID().Short())
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package sim provides the deterministic discrete-event substrate the
+// ROFL evaluation runs on: a virtual clock, an event heap, a seeded RNG,
+// and the message accounting the paper's figures are built from.
+//
+// The paper measures join overhead and convergence cost in
+// "network-level messages" — one control message traversing k physical
+// links counts as k packets (§6.1) — and join latency as the critical
+// path of parallel control messages over weighted links (§6.2, Fig 5c).
+// Engine exposes exactly those quantities, so every experiment driver is
+// a pure function of (topology, workload, seed).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is virtual time in milliseconds. Link weights are interpreted as
+// one-way latencies in the same unit.
+type Time float64
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64 // tie-breaker: FIFO among same-time events
+	rng     *rand.Rand
+	Metrics Metrics
+}
+
+// NewEngine returns an engine whose RNG is seeded deterministically.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:     rand.New(rand.NewSource(seed)),
+		Metrics: NewMetrics(),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic RNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule enqueues fn to run after delay. A negative delay is treated as
+// zero. Events scheduled for the same instant run in FIFO order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run drains the event queue to completion and returns the final virtual
+// time. It is safe to call repeatedly: new events scheduled by handlers
+// are processed before Run returns.
+func (e *Engine) Run() Time {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= deadline, leaving later
+// events queued, and advances the clock to deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// --- Metrics -------------------------------------------------------------
+
+// Metrics accumulates the quantities the paper's figures report:
+// per-category message counts (join, teardown, repair, data, ...) and
+// arbitrary sample sets for CDFs (per-join overhead, latency, stretch).
+type Metrics struct {
+	counters map[string]int64
+	samples  map[string][]float64
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() Metrics {
+	return Metrics{
+		counters: make(map[string]int64),
+		samples:  make(map[string][]float64),
+	}
+}
+
+// Count adds n to the named counter.
+func (m Metrics) Count(name string, n int64) { m.counters[name] += n }
+
+// Counter returns the value of the named counter (zero if never touched).
+func (m Metrics) Counter(name string) int64 { return m.counters[name] }
+
+// Sample appends one observation to the named sample set.
+func (m Metrics) Sample(name string, v float64) {
+	m.samples[name] = append(m.samples[name], v)
+}
+
+// Samples returns the raw observations for name. The returned slice is
+// the live backing store; callers must not mutate it.
+func (m Metrics) Samples(name string) []float64 { return m.samples[name] }
+
+// Reset clears all counters and samples.
+func (m Metrics) Reset() {
+	for k := range m.counters {
+		delete(m.counters, k)
+	}
+	for k := range m.samples {
+		delete(m.samples, k)
+	}
+}
+
+// CounterNames returns the names of all touched counters, sorted.
+func (m Metrics) CounterNames() []string {
+	names := make([]string, 0, len(m.counters))
+	for k := range m.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- Statistics helpers ---------------------------------------------------
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes order statistics over vs. An empty input yields a
+// zero Summary.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+		P50:  Quantile(s, 0.50),
+		P90:  Quantile(s, 0.90),
+		P99:  Quantile(s, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// slice using nearest-rank interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDF returns (value, cumulative-fraction) pairs suitable for plotting a
+// CDF like the paper's Figures 5b, 5c and 8b, downsampled to at most
+// points entries.
+func CDF(vs []float64, points int) [][2]float64 {
+	if len(vs) == 0 || points <= 0 {
+		return nil
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if points > len(s) {
+		points = len(s)
+	}
+	out := make([][2]float64, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * len(s) / points
+		if idx > len(s) {
+			idx = len(s)
+		}
+		out = append(out, [2]float64{s[idx-1], float64(idx) / float64(len(s))})
+	}
+	return out
+}
+
+// String renders a summary compactly for logs and experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p50=%.2f mean=%.2f p90=%.2f p99=%.2f max=%.2f",
+		s.N, s.Min, s.P50, s.Mean, s.P90, s.P99, s.Max)
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(5, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(3, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 5 {
+		t.Fatalf("final time = %v want 5", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(1, step)
+		}
+	}
+	e.Schedule(0, step)
+	end := e.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d want 5", depth)
+	}
+	if end != 4 {
+		t.Fatalf("end = %v want 4", end)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-10, func() { ran = true })
+	if e.Run() != 0 || !ran {
+		t.Fatal("negative delay should run at t=0")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Time{1, 2, 3, 10} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("got %v, want first three", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v want 3", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d want 1", e.Pending())
+	}
+	e.Run()
+	if len(got) != 4 || e.Now() != 10 {
+		t.Fatalf("remaining event not delivered: %v now=%v", got, e.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine(42)
+		var out []float64
+		for i := 0; i < 100; i++ {
+			e.Schedule(Time(e.Rand().Float64()*10), func() {
+				out = append(out, e.Rand().Float64())
+			})
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce identical traces")
+		}
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Count("join", 3)
+	m.Count("join", 2)
+	m.Count("data", 1)
+	if m.Counter("join") != 5 || m.Counter("data") != 1 || m.Counter("absent") != 0 {
+		t.Fatalf("counters wrong: join=%d data=%d", m.Counter("join"), m.Counter("data"))
+	}
+	names := m.CounterNames()
+	if len(names) != 2 || names[0] != "data" || names[1] != "join" {
+		t.Fatalf("names = %v", names)
+	}
+	m.Reset()
+	if m.Counter("join") != 0 {
+		t.Fatal("reset should clear counters")
+	}
+}
+
+func TestMetricsSamples(t *testing.T) {
+	m := NewMetrics()
+	for _, v := range []float64{3, 1, 2} {
+		m.Sample("lat", v)
+	}
+	if got := m.Samples("lat"); len(got) != 3 {
+		t.Fatalf("samples = %v", got)
+	}
+	m.Reset()
+	if m.Samples("lat") != nil {
+		t.Fatal("reset should clear samples")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Fatalf("p50 = %v want 2.5", s.P50)
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 || zero.Mean != 0 {
+		t.Fatalf("empty summary = %+v", zero)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 5 {
+		t.Fatal("quantile endpoints wrong")
+	}
+	if got := Quantile(s, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		vs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		sort.Float64s(vs)
+		a, b := math.Abs(math.Mod(q1, 1)), math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(vs, a) <= Quantile(vs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	pts := CDF(vs, 5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %v", pts)
+	}
+	last := pts[len(pts)-1]
+	if last[0] != 10 || last[1] != 1.0 {
+		t.Fatalf("last point = %v, want (10, 1.0)", last)
+	}
+	// Fractions must be nondecreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] || pts[i][0] < pts[i-1][0] {
+			t.Fatalf("CDF not monotone: %v", pts)
+		}
+	}
+	if CDF(nil, 5) != nil || CDF(vs, 0) != nil {
+		t.Fatal("degenerate CDF inputs should return nil")
+	}
+	// More points requested than samples: clamp.
+	if got := CDF([]float64{1, 2}, 10); len(got) != 2 {
+		t.Fatalf("clamped CDF = %v", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%17), func() {})
+		}
+		e.Run()
+	}
+}

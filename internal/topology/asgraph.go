@@ -1,0 +1,416 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ASN identifies an autonomous system in an ASGraph.
+type ASN int
+
+// Relation labels one direction of an inter-AS adjacency, following the
+// Gao/Subramanian taxonomy the paper relies on (§4.2): the Internet's
+// policies "can be modeled as arising out of a simple hierarchical AS
+// graph".
+type Relation int8
+
+const (
+	// RelNone marks absent adjacency.
+	RelNone Relation = iota
+	// RelProvider: the neighbor is my provider (I am its customer).
+	RelProvider
+	// RelCustomer: the neighbor is my customer.
+	RelCustomer
+	// RelPeer: settlement-free peering.
+	RelPeer
+	// RelBackup: a provider link used only on failure of primary links
+	// (paper §4.2 "backup links ... only if there is a failure").
+	RelBackup
+)
+
+// String renders the relation for logs.
+func (r Relation) String() string {
+	switch r {
+	case RelProvider:
+		return "provider"
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelBackup:
+		return "backup"
+	default:
+		return "none"
+	}
+}
+
+// ASGraph is an annotated AS-level topology. The paper models "each AS as
+// a single node" interdomain (§6.1); we do the same.
+type ASGraph struct {
+	n     int
+	rel   []map[ASN]Relation // rel[a][b] = relation of b as seen from a
+	hosts []int              // skitter-substitute host counts
+	tier  []int              // 1 = core clique, 2 = transit, 3 = stub
+}
+
+// NewASGraph returns an empty AS graph with n ASes and no adjacencies.
+func NewASGraph(n int) *ASGraph {
+	g := &ASGraph{
+		n:     n,
+		rel:   make([]map[ASN]Relation, n),
+		hosts: make([]int, n),
+		tier:  make([]int, n),
+	}
+	for i := range g.rel {
+		g.rel[i] = make(map[ASN]Relation)
+	}
+	return g
+}
+
+// NumASes returns the number of ASes.
+func (g *ASGraph) NumASes() int { return g.n }
+
+// SetRelation installs a directed pair: as seen from a, b is rel; the
+// reverse direction is set to the inverse relation automatically.
+func (g *ASGraph) SetRelation(a, b ASN, rel Relation) {
+	if a == b {
+		panic("topology: AS self-adjacency")
+	}
+	g.rel[a][b] = rel
+	g.rel[b][a] = inverse(rel)
+}
+
+func inverse(r Relation) Relation {
+	switch r {
+	case RelProvider:
+		return RelCustomer
+	case RelCustomer:
+		return RelProvider
+	case RelBackup:
+		// From the provider's side a backup customer link still carries
+		// customer traffic when active.
+		return RelCustomer
+	default:
+		return r
+	}
+}
+
+// Relation returns how a sees b.
+func (g *ASGraph) Relation(a, b ASN) Relation { return g.rel[a][b] }
+
+// Providers returns a's providers (including backup providers last),
+// sorted for determinism.
+func (g *ASGraph) Providers(a ASN) []ASN {
+	var primary, backup []ASN
+	for b, r := range g.rel[a] {
+		switch r {
+		case RelProvider:
+			primary = append(primary, b)
+		case RelBackup:
+			backup = append(backup, b)
+		}
+	}
+	sortASNs(primary)
+	sortASNs(backup)
+	return append(primary, backup...)
+}
+
+// PrimaryProviders returns a's non-backup providers.
+func (g *ASGraph) PrimaryProviders(a ASN) []ASN {
+	var out []ASN
+	for b, r := range g.rel[a] {
+		if r == RelProvider {
+			out = append(out, b)
+		}
+	}
+	sortASNs(out)
+	return out
+}
+
+// Customers returns a's customers, sorted.
+func (g *ASGraph) Customers(a ASN) []ASN {
+	var out []ASN
+	for b, r := range g.rel[a] {
+		if r == RelCustomer {
+			out = append(out, b)
+		}
+	}
+	sortASNs(out)
+	return out
+}
+
+// PrimaryCustomers returns a's customers attached over primary (non
+// backup) links, sorted. Customer cones built from these are what join
+// strategies cover, since backup links are excluded from joins (§4.2).
+func (g *ASGraph) PrimaryCustomers(a ASN) []ASN {
+	var out []ASN
+	for b, r := range g.rel[a] {
+		if r == RelCustomer && g.rel[b][a] == RelProvider {
+			out = append(out, b)
+		}
+	}
+	sortASNs(out)
+	return out
+}
+
+// Peers returns a's peers, sorted.
+func (g *ASGraph) Peers(a ASN) []ASN {
+	var out []ASN
+	for b, r := range g.rel[a] {
+		if r == RelPeer {
+			out = append(out, b)
+		}
+	}
+	sortASNs(out)
+	return out
+}
+
+// Neighbors returns every adjacent AS regardless of relation, sorted.
+func (g *ASGraph) Neighbors(a ASN) []ASN {
+	out := make([]ASN, 0, len(g.rel[a]))
+	for b := range g.rel[a] {
+		out = append(out, b)
+	}
+	sortASNs(out)
+	return out
+}
+
+func sortASNs(s []ASN) { sort.Slice(s, func(i, j int) bool { return s[i] < s[j] }) }
+
+// SetHosts records the (skitter-substitute) host count of an AS.
+func (g *ASGraph) SetHosts(a ASN, n int) { g.hosts[a] = n }
+
+// Hosts returns the host count of an AS.
+func (g *ASGraph) Hosts(a ASN) int { return g.hosts[a] }
+
+// SetTier records the hierarchy tier (1 core, 2 transit, 3 stub).
+func (g *ASGraph) SetTier(a ASN, t int) { g.tier[a] = t }
+
+// Tier returns the hierarchy tier of a.
+func (g *ASGraph) Tier(a ASN) int { return g.tier[a] }
+
+// Stubs returns all tier-3 ASes, sorted. "Stub ASes (ASes near the
+// network edge) are believed to be significantly more unstable" (§6.3) —
+// the failure experiment samples from this set.
+func (g *ASGraph) Stubs() []ASN {
+	var out []ASN
+	for a := 0; a < g.n; a++ {
+		if g.tier[a] == 3 {
+			out = append(out, ASN(a))
+		}
+	}
+	return out
+}
+
+// UpHierarchy computes G_X: the DAG of all ASes "above" x — its
+// providers, their providers, and so on (§2.3). Backup links are
+// included only when includeBackup is set (the join treats them as
+// standby paths). The result is a map from member AS to its providers
+// within the sub-hierarchy, always containing x itself.
+func (g *ASGraph) UpHierarchy(x ASN, includeBackup bool) map[ASN][]ASN {
+	out := map[ASN][]ASN{x: nil}
+	queue := []ASN{x}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		provs := g.PrimaryProviders(a)
+		if includeBackup {
+			provs = g.Providers(a)
+		}
+		for _, p := range provs {
+			out[a] = append(out[a], p)
+			if _, seen := out[p]; !seen {
+				out[p] = nil
+				queue = append(queue, p)
+			}
+		}
+	}
+	return out
+}
+
+// UpHierarchyLevels returns x's up-hierarchy flattened into levels:
+// level 0 is {x}, level i+1 is the providers of level i not yet seen.
+// Join requests discover one external successor per level (§2.3).
+func (g *ASGraph) UpHierarchyLevels(x ASN, includeBackup bool) [][]ASN {
+	seen := map[ASN]bool{x: true}
+	levels := [][]ASN{{x}}
+	cur := []ASN{x}
+	for len(cur) > 0 {
+		var next []ASN
+		for _, a := range cur {
+			provs := g.PrimaryProviders(a)
+			if includeBackup {
+				provs = g.Providers(a)
+			}
+			for _, p := range provs {
+				if !seen[p] {
+					seen[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		sortASNs(next)
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels
+}
+
+// InUpHierarchy reports whether y is in x's up-hierarchy (x included).
+func (g *ASGraph) InUpHierarchy(x, y ASN, includeBackup bool) bool {
+	_, ok := g.UpHierarchy(x, includeBackup)[y]
+	return ok
+}
+
+// DownHierarchy returns the set of ASes at or below root via customer
+// links (root included) — the subtree whose hosts a Bloom filter at root
+// summarizes (§4.2).
+func (g *ASGraph) DownHierarchy(root ASN) []ASN {
+	return g.downHierarchy(root, g.Customers)
+}
+
+// DownHierarchyPrimary is DownHierarchy restricted to primary customer
+// links — the customer cone joins actually cover, since backup links are
+// excluded from joins.
+func (g *ASGraph) DownHierarchyPrimary(root ASN) []ASN {
+	return g.downHierarchy(root, g.PrimaryCustomers)
+}
+
+func (g *ASGraph) downHierarchy(root ASN, customers func(ASN) []ASN) []ASN {
+	seen := map[ASN]bool{root: true}
+	out := []ASN{root}
+	queue := []ASN{root}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for _, c := range customers(a) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+				queue = append(queue, c)
+			}
+		}
+	}
+	sortASNs(out)
+	return out
+}
+
+// String summarizes the graph.
+func (g *ASGraph) String() string {
+	links := 0
+	for a := 0; a < g.n; a++ {
+		links += len(g.rel[a])
+	}
+	return fmt.Sprintf("asgraph{ases=%d links=%d}", g.n, links/2)
+}
+
+// ASGenConfig parameterizes the Internet-like AS topology generator.
+type ASGenConfig struct {
+	Tier1      int // core ASes, fully meshed with peering
+	Tier2      int // transit ASes
+	Stubs      int // edge ASes
+	Hosts      int // total hosts, Zipf across stubs and transits
+	ZipfS      float64
+	PeerProb   float64 // probability of a tier-2 peering link
+	BackupProb float64 // probability a multihomed stub's extra link is backup-only
+	Seed       int64
+}
+
+// DefaultASGen mirrors the qualitative shape of the 2006 Routeviews graph
+// at reduced scale: a small tier-1 clique, an order of magnitude more
+// transits, and a long tail of stubs with 1–3 providers each.
+func DefaultASGen() ASGenConfig {
+	return ASGenConfig{
+		Tier1: 8, Tier2: 60, Stubs: 400,
+		Hosts: 30000, ZipfS: 1.1,
+		PeerProb: 0.15, BackupProb: 0.3,
+		Seed: 2006,
+	}
+}
+
+// GenAS builds a deterministic Internet-like AS graph:
+//
+//   - tier-1 ASes form a full peering clique (the paper notes a clique of
+//     Tier 1 ISPs needs only a single virtual AS, §4.2);
+//   - each tier-2 AS buys transit from 1–3 tier-1s and peers with other
+//     tier-2s with probability PeerProb;
+//   - each stub buys transit from 1–3 tier-2s, with extra links demoted
+//     to backup with probability BackupProb.
+//
+// Host counts follow a Zipf spread over stubs and tier-2s, reproducing
+// the "highly uneven distribution of hosts across ASes" (§6.3).
+func GenAS(cfg ASGenConfig) *ASGraph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Tier1 + cfg.Tier2 + cfg.Stubs
+	g := NewASGraph(n)
+
+	t1 := make([]ASN, cfg.Tier1)
+	for i := range t1 {
+		t1[i] = ASN(i)
+		g.SetTier(t1[i], 1)
+	}
+	for i := 0; i < len(t1); i++ {
+		for j := i + 1; j < len(t1); j++ {
+			g.SetRelation(t1[i], t1[j], RelPeer)
+		}
+	}
+
+	t2 := make([]ASN, cfg.Tier2)
+	for i := range t2 {
+		a := ASN(cfg.Tier1 + i)
+		t2[i] = a
+		g.SetTier(a, 2)
+		for _, p := range pickDistinct(t1, 1+rng.Intn(3), rng) {
+			g.SetRelation(a, p, RelProvider)
+		}
+	}
+	for i := 0; i < len(t2); i++ {
+		for j := i + 1; j < len(t2); j++ {
+			if rng.Float64() < cfg.PeerProb {
+				g.SetRelation(t2[i], t2[j], RelPeer)
+			}
+		}
+	}
+
+	for i := 0; i < cfg.Stubs; i++ {
+		a := ASN(cfg.Tier1 + cfg.Tier2 + i)
+		g.SetTier(a, 3)
+		provs := pickDistinct(t2, 1+rng.Intn(3), rng)
+		for k, p := range provs {
+			rel := RelProvider
+			if k > 0 && rng.Float64() < cfg.BackupProb {
+				rel = RelBackup
+			}
+			g.SetRelation(a, p, rel)
+		}
+	}
+
+	// Hosts: tier-2s and stubs get Zipf shares; tier-1s host none (pure
+	// transit), matching how the paper seeds identifiers at edges.
+	edges := make([]ASN, 0, cfg.Tier2+cfg.Stubs)
+	edges = append(edges, t2...)
+	for i := 0; i < cfg.Stubs; i++ {
+		edges = append(edges, ASN(cfg.Tier1+cfg.Tier2+i))
+	}
+	for i, c := range ZipfSpread(cfg.Hosts, len(edges), cfg.ZipfS, rng) {
+		g.SetHosts(edges[i], c)
+	}
+	return g
+}
+
+func pickDistinct(pool []ASN, k int, rng *rand.Rand) []ASN {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]ASN, k)
+	for i := 0; i < k; i++ {
+		out[i] = pool[perm[i]]
+	}
+	sortASNs(out)
+	return out
+}

@@ -1,0 +1,190 @@
+package vring
+
+import (
+	"sort"
+
+	"rofl/internal/ident"
+	"rofl/internal/topology"
+)
+
+// Pointer is one entry of ROFL routing state: a flat label and the
+// router currently hosting it. Forwarding resolves the router to a
+// physical next hop through the link-state map (§3.3: "using the
+// link-state database to return the next hop towards the router
+// containing that ID").
+type Pointer struct {
+	ID     ident.ID
+	Router RouterID
+}
+
+// RouterID aliases the topology node index of a router.
+type RouterID = topology.NodeID
+
+// bestMatch returns the index of the element of sorted (ascending by ID)
+// that is closest to dst without overshooting it, given the packet's
+// current ring position pos. It returns ok=false when no element makes
+// greedy progress. The key identity: candidate ∈ (pos, dst] iff
+// Distance(candidate, dst) < Distance(pos, dst), so checking the global
+// distance minimizer suffices.
+func bestMatch(pos, dst ident.ID, sorted []Pointer) (int, bool) {
+	n := len(sorted)
+	if n == 0 {
+		return 0, false
+	}
+	// Largest ID <= dst in linear order; wraps to the last element when
+	// dst precedes everything (circularly that element is closest).
+	i := sort.Search(n, func(k int) bool { return dst.Less(sorted[k].ID) })
+	idx := i - 1
+	if idx < 0 {
+		idx = n - 1
+	}
+	c := sorted[idx].ID
+	if !ident.Progress(pos, dst, c) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// PointerCache is the bounded cache of overheard pointers each router
+// keeps (§2.2 "the pointer-cache of routers is limited in size, and
+// precedence is given to [ring pointers]"). Ring pointers (successors,
+// predecessors) are *not* stored here — they live on virtual nodes and
+// always win precedence; the cache only holds opportunistically learned
+// shortcuts, evicted LRU when capacity is reached.
+type PointerCache struct {
+	cap     int
+	entries []cacheEntry // ascending by ID
+	clock   uint64
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	Pointer
+	lastUsed uint64
+}
+
+// NewPointerCache returns a cache bounded to capacity entries;
+// capacity <= 0 disables caching entirely.
+func NewPointerCache(capacity int) *PointerCache {
+	return &PointerCache{cap: capacity}
+}
+
+// Len returns the number of cached pointers.
+func (c *PointerCache) Len() int { return len(c.entries) }
+
+// Cap returns the configured capacity.
+func (c *PointerCache) Cap() int { return c.cap }
+
+// HitRate returns the fraction of Lookup calls that returned a pointer.
+func (c *PointerCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+func (c *PointerCache) find(id ident.ID) (int, bool) {
+	i := sort.Search(len(c.entries), func(k int) bool { return !c.entries[k].ID.Less(id) })
+	if i < len(c.entries) && c.entries[i].ID == id {
+		return i, true
+	}
+	return i, false
+}
+
+// Insert records a pointer, updating the router of an existing entry or
+// evicting the least-recently-used one at capacity.
+func (c *PointerCache) Insert(p Pointer) {
+	if c.cap <= 0 {
+		return
+	}
+	c.clock++
+	if i, ok := c.find(p.ID); ok {
+		c.entries[i].Router = p.Router
+		c.entries[i].lastUsed = c.clock
+		return
+	}
+	if len(c.entries) >= c.cap {
+		c.evictLRU()
+	}
+	i, _ := c.find(p.ID)
+	c.entries = append(c.entries, cacheEntry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = cacheEntry{Pointer: p, lastUsed: c.clock}
+}
+
+func (c *PointerCache) evictLRU() {
+	if len(c.entries) == 0 {
+		return
+	}
+	victim := 0
+	for i := 1; i < len(c.entries); i++ {
+		if c.entries[i].lastUsed < c.entries[victim].lastUsed {
+			victim = i
+		}
+	}
+	c.entries = append(c.entries[:victim], c.entries[victim+1:]...)
+}
+
+// Remove drops the entry for id if present.
+func (c *PointerCache) Remove(id ident.ID) {
+	if i, ok := c.find(id); ok {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+	}
+}
+
+// RemoveRouter drops every entry pointing at the given router — the
+// reaction to a link-state advertisement reporting it unreachable
+// (§3.2: "routers also monitor link-state advertisements and delete
+// pointers to IDs residing at unreachable routers").
+func (c *PointerCache) RemoveRouter(r RouterID) int {
+	kept := c.entries[:0]
+	removed := 0
+	for _, e := range c.entries {
+		if e.Router == r {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.entries = kept
+	return removed
+}
+
+// Lookup returns the cached pointer closest to dst without overshooting,
+// given current position pos, marking it recently used.
+func (c *PointerCache) Lookup(pos, dst ident.ID) (Pointer, bool) {
+	// View the entries as pointers without copying: bestMatch needs IDs
+	// in sorted order, which c.entries maintains.
+	n := len(c.entries)
+	if n == 0 {
+		c.misses++
+		return Pointer{}, false
+	}
+	i := sort.Search(n, func(k int) bool { return dst.Less(c.entries[k].ID) })
+	idx := i - 1
+	if idx < 0 {
+		idx = n - 1
+	}
+	e := c.entries[idx]
+	if !ident.Progress(pos, dst, e.ID) {
+		c.misses++
+		return Pointer{}, false
+	}
+	c.clock++
+	c.entries[idx].lastUsed = c.clock
+	c.hits++
+	return e.Pointer, true
+}
+
+// Each returns every cached pointer in ascending ID order (for memory
+// accounting and invalidation sweeps). Callers must not mutate entries
+// through it.
+func (c *PointerCache) Each(fn func(Pointer) bool) {
+	for _, e := range c.entries {
+		if !fn(e.Pointer) {
+			return
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package vring
+
+import (
+	"math/rand"
+	"testing"
+
+	"rofl/internal/ident"
+)
+
+func id64(v uint64) ident.ID { return ident.FromUint64(v) }
+
+func TestCacheInsertLookup(t *testing.T) {
+	c := NewPointerCache(10)
+	c.Insert(Pointer{ID: id64(50), Router: 5})
+	c.Insert(Pointer{ID: id64(10), Router: 1})
+	c.Insert(Pointer{ID: id64(90), Router: 9})
+	// From pos 0 toward 60: best is 50.
+	p, ok := c.Lookup(id64(0), id64(60))
+	if !ok || p.ID != id64(50) {
+		t.Fatalf("lookup = %v ok=%v", p, ok)
+	}
+	// From pos 55 toward 60: 50 would be regression; no hit.
+	if _, ok := c.Lookup(id64(55), id64(60)); ok {
+		t.Fatal("must not go backwards")
+	}
+	// Wrapping: from pos 95 toward 5, candidate 90 overshoots... 90 is
+	// behind pos; no entry in (95, 5]; miss expected.
+	if _, ok := c.Lookup(id64(95), id64(5)); ok {
+		t.Fatal("no entry in wrapped interval")
+	}
+	// Exact destination hit.
+	p, ok = c.Lookup(id64(0), id64(90))
+	if !ok || p.ID != id64(90) {
+		t.Fatal("exact match should hit")
+	}
+	if c.HitRate() <= 0 || c.HitRate() >= 1 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewPointerCache(10)
+	c.Insert(Pointer{ID: id64(5), Router: 1})
+	c.Insert(Pointer{ID: id64(5), Router: 2})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	p, _ := c.Lookup(id64(0), id64(5))
+	if p.Router != 2 {
+		t.Fatal("router not updated")
+	}
+}
+
+func TestCacheEvictionLRU(t *testing.T) {
+	c := NewPointerCache(3)
+	c.Insert(Pointer{ID: id64(1), Router: 1})
+	c.Insert(Pointer{ID: id64(2), Router: 2})
+	c.Insert(Pointer{ID: id64(3), Router: 3})
+	// Touch 1 so it is most recently used.
+	c.Lookup(id64(0), id64(1))
+	c.Insert(Pointer{ID: id64(4), Router: 4}) // evicts 2 (LRU)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Lookup(id64(1), id64(2)); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if _, ok := c.Lookup(id64(0), id64(1)); !ok {
+		t.Fatal("1 should survive")
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := NewPointerCache(0)
+	c.Insert(Pointer{ID: id64(1), Router: 1})
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache must stay empty")
+	}
+	if _, ok := c.Lookup(id64(0), id64(5)); ok {
+		t.Fatal("empty cache cannot hit")
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c := NewPointerCache(10)
+	c.Insert(Pointer{ID: id64(1), Router: 1})
+	c.Insert(Pointer{ID: id64(2), Router: 2})
+	c.Remove(id64(1))
+	c.Remove(id64(99)) // absent: no-op
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCacheRemoveRouter(t *testing.T) {
+	c := NewPointerCache(10)
+	c.Insert(Pointer{ID: id64(1), Router: 7})
+	c.Insert(Pointer{ID: id64(2), Router: 8})
+	c.Insert(Pointer{ID: id64(3), Router: 7})
+	if got := c.RemoveRouter(7); got != 2 {
+		t.Fatalf("removed = %d", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCacheEach(t *testing.T) {
+	c := NewPointerCache(10)
+	for i := uint64(1); i <= 5; i++ {
+		c.Insert(Pointer{ID: id64(i * 10), Router: RouterID(i)})
+	}
+	var seen []ident.ID
+	c.Each(func(p Pointer) bool {
+		seen = append(seen, p.ID)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 {
+		t.Fatalf("early stop failed: %d", len(seen))
+	}
+	// Ascending order.
+	for i := 1; i < len(seen); i++ {
+		if !seen[i-1].Less(seen[i]) {
+			t.Fatal("Each must iterate ascending")
+		}
+	}
+}
+
+func TestBestMatch(t *testing.T) {
+	sorted := []Pointer{
+		{ID: id64(10)}, {ID: id64(20)}, {ID: id64(30)},
+	}
+	idx, ok := bestMatch(id64(5), id64(25), sorted)
+	if !ok || sorted[idx].ID != id64(20) {
+		t.Fatalf("idx=%d ok=%v", idx, ok)
+	}
+	// dst before all entries: wraps to last (30), which from pos 5 toward
+	// 3 is progress (30 in (5, 3] circularly).
+	idx, ok = bestMatch(id64(5), id64(3), sorted)
+	if !ok || sorted[idx].ID != id64(30) {
+		t.Fatalf("wrap: idx=%d ok=%v", idx, ok)
+	}
+	// No progress possible.
+	if _, ok := bestMatch(id64(25), id64(27), sorted); ok {
+		t.Fatal("nothing in (25,27]")
+	}
+	if _, ok := bestMatch(id64(0), id64(5), nil); ok {
+		t.Fatal("empty set")
+	}
+}
+
+func TestCacheStressSortedInvariant(t *testing.T) {
+	c := NewPointerCache(64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			c.Insert(Pointer{ID: ident.Random(rng), Router: RouterID(rng.Intn(100))})
+		case 2:
+			c.Lookup(ident.Random(rng), ident.Random(rng))
+		}
+		if c.Len() > 64 {
+			t.Fatal("capacity exceeded")
+		}
+	}
+	var prev ident.ID
+	first := true
+	c.Each(func(p Pointer) bool {
+		if !first && !prev.Less(p.ID) {
+			t.Fatal("entries out of order")
+		}
+		prev, first = p.ID, false
+		return true
+	})
+}

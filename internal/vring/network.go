@@ -1,0 +1,762 @@
+// Package vring implements ROFL's intradomain design (paper §3): every
+// host identifier is resident at a hosting router as a virtual node;
+// virtual nodes splice themselves into a circular namespace ring with
+// successor-group and predecessor pointers; packets are forwarded
+// greedily to the closest known identifier that does not overshoot the
+// destination (Algorithm 2), consulting resident state first and a
+// bounded pointer cache second; and failures — host, router, link,
+// partition — are repaired with teardowns, failover and zero-node driven
+// ring merging (§3.2).
+package vring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rofl/internal/ident"
+	"rofl/internal/linkstate"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+// debugJoin enables an oracle cross-check of every join's predecessor
+// lookup (tests only).
+var debugJoin = false
+
+// Metrics counter names charged by this package. One control message
+// traversing k physical links counts k (paper §6.1 methodology).
+const (
+	MsgBootstrap = "vring-bootstrap"
+	MsgJoin      = "vring-join"
+	MsgData      = "vring-data"
+	MsgTeardown  = "vring-teardown"
+	MsgRepair    = "vring-repair"
+)
+
+// Sample names recorded by this package.
+const (
+	SampleJoinMsgs    = "vring-join-msgs"
+	SampleJoinLatency = "vring-join-latency-ms"
+	SampleStretch     = "vring-stretch"
+)
+
+// Options tunes the protocol knobs the paper evaluates.
+type Options struct {
+	// SuccessorGroup is the number of successors each virtual node keeps
+	// ("nodes can hold multiple successors ... successor-groups", §2.2).
+	SuccessorGroup int
+	// CacheCapacity bounds each router's pointer cache (Fig 6a sweeps
+	// this); 0 disables caching.
+	CacheCapacity int
+	// CacheControl enables filling caches from control traffic — the
+	// paper's default ("we fill pointer caches only with contents
+	// available from control packets", §6.1).
+	CacheControl bool
+	// SnoopData additionally fills caches from delivered data packets —
+	// off in the paper's runs; exposed for the ablation benches.
+	SnoopData bool
+	// TTL bounds forwarding hops per packet.
+	TTL int
+	// Seed feeds the deterministic RNG.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's simulation defaults.
+func DefaultOptions() Options {
+	return Options{
+		SuccessorGroup: 3,
+		CacheCapacity:  70000, // ≈9 Mbit of 128-bit IDs (§6.2)
+		CacheControl:   true,
+		SnoopData:      false,
+		TTL:            1024,
+		Seed:           1,
+	}
+}
+
+// VirtualNode holds the routing state a hosting router maintains for one
+// resident identifier (§3.1: "spawns a virtual node that will hold the
+// routing state with respect to this host's identifier").
+type VirtualNode struct {
+	ID        ident.ID
+	Router    RouterID
+	Ephemeral bool
+	Default   bool // the router's own default virtual node (§3.1)
+
+	// Succs is the successor group: Succs[0] is the immediate internal
+	// successor, the rest are fallbacks for failure resilience.
+	Succs []Pointer
+	// Pred is the predecessor pointer.
+	Pred Pointer
+	// Parked holds ephemeral identifiers whose predecessor this node is;
+	// the node keeps a source route to each (§2.2 "Ephemeral hosts").
+	Parked []Pointer
+}
+
+// Succ returns the immediate successor pointer and whether one exists.
+func (v *VirtualNode) Succ() (Pointer, bool) {
+	if len(v.Succs) == 0 {
+		return Pointer{}, false
+	}
+	return v.Succs[0], true
+}
+
+// Router is one physical router: a set of resident virtual nodes plus a
+// bounded pointer cache.
+type Router struct {
+	Node  RouterID
+	ID    ident.ID // router-ID; doubles as the default virtual node's ID
+	VNs   map[ident.ID]*VirtualNode
+	Cache *PointerCache
+}
+
+// MemoryEntries counts the routing-state entries this router holds —
+// the paper's Fig 6c metric: ring pointers and parked routes on resident
+// virtual nodes, plus cached pointers.
+func (r *Router) MemoryEntries() int {
+	n := r.Cache.Len()
+	for _, vn := range r.VNs {
+		n += len(vn.Succs) + len(vn.Parked)
+		if vn.Pred != (Pointer{}) {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentIDs counts identifiers resident at this router (including the
+// default virtual node).
+func (r *Router) ResidentIDs() int { return len(r.VNs) }
+
+// Network is one AS running intradomain ROFL over a router topology.
+type Network struct {
+	LS      *linkstate.Map
+	Metrics sim.Metrics
+	Routers []*Router
+
+	opts Options
+	rng  *rand.Rand
+
+	// hostedAt is the experimenter's oracle — used only to compute
+	// stretch denominators and to verify invariants, never consulted by
+	// the protocol itself.
+	hostedAt map[ident.ID]RouterID
+
+	// traversals counts data-packet transits per router (Fig 6b).
+	traversals []int64
+
+	// failover is the pre-agreed router order used when a hosting router
+	// dies (§3.2: "routers in advance agree on a sorted list of routers
+	// that will be failed over to").
+	failover []RouterID
+}
+
+// Errors returned by Network operations.
+var (
+	ErrDuplicateID   = errors.New("vring: identifier already resident")
+	ErrUnknownID     = errors.New("vring: identifier not resident anywhere")
+	ErrRouterDown    = errors.New("vring: router is down")
+	ErrNoRoute       = errors.New("vring: greedy routing could not deliver")
+	ErrTTLExceeded   = errors.New("vring: TTL exceeded")
+	ErrNotReachable  = errors.New("vring: destination not reachable in this partition")
+	ErrRingCorrupted = errors.New("vring: ring invariant violated")
+)
+
+// New constructs a network over g: one router per topology node, each
+// bootstrapping a default virtual node into a ring of router-IDs. The
+// bootstrap flood each default virtual node performs (§3.1) is charged
+// to the MsgBootstrap counter; the resulting ring is built directly
+// since the paper treats construction as a one-time cost.
+func New(g *topology.Graph, m sim.Metrics, opts Options) *Network {
+	if opts.SuccessorGroup < 1 {
+		opts.SuccessorGroup = 1
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = 1024
+	}
+	n := &Network{
+		LS:         linkstate.New(g, m),
+		Metrics:    m,
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		hostedAt:   make(map[ident.ID]RouterID),
+		traversals: make([]int64, g.NumNodes()),
+	}
+	n.Routers = make([]*Router, g.NumNodes())
+	for i := range n.Routers {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(i))
+		rid := ident.FromBytes(append([]byte("router"), b[:]...))
+		n.Routers[i] = &Router{
+			Node:  RouterID(i),
+			ID:    rid,
+			VNs:   make(map[ident.ID]*VirtualNode),
+			Cache: NewPointerCache(opts.CacheCapacity),
+		}
+	}
+	// Default virtual nodes join by flooding (§3.1); charge one flood
+	// per router and build the converged ring directly.
+	m.Count(MsgBootstrap, int64(2*g.NumEdges()*g.NumNodes()))
+	members := make([]Pointer, 0, len(n.Routers))
+	for _, r := range n.Routers {
+		vn := &VirtualNode{ID: r.ID, Router: r.Node, Default: true}
+		r.VNs[r.ID] = vn
+		n.hostedAt[r.ID] = r.Node
+		members = append(members, Pointer{ID: r.ID, Router: r.Node})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].ID.Less(members[j].ID) })
+	for i, p := range members {
+		vn := n.Routers[p.Router].VNs[p.ID]
+		for k := 1; k <= opts.SuccessorGroup && k < len(members); k++ {
+			vn.Succs = append(vn.Succs, members[(i+k)%len(members)])
+		}
+		vn.Pred = members[(i-1+len(members))%len(members)]
+	}
+	// Failover order: routers sorted by router-ID (pre-agreed and
+	// deterministic).
+	n.failover = make([]RouterID, len(members))
+	for i, p := range members {
+		n.failover[i] = p.Router
+	}
+	return n
+}
+
+// Options returns the network's configuration.
+func (n *Network) Options() Options { return n.opts }
+
+// HostingRouter returns where id is resident (oracle; for verification
+// and stretch denominators).
+func (n *Network) HostingRouter(id ident.ID) (RouterID, bool) {
+	r, ok := n.hostedAt[id]
+	return r, ok
+}
+
+// Traversals returns per-router data-packet transit counts (Fig 6b).
+func (n *Network) Traversals() []int64 { return n.traversals }
+
+// NumHosts returns the number of non-default resident identifiers.
+func (n *Network) NumHosts() int {
+	return len(n.hostedAt) - len(n.Routers) // default VNs excluded
+}
+
+// --- Greedy forwarding (Algorithm 2) -------------------------------------
+
+// hop moves a message from router a to router b over current shortest
+// paths, charging counter and recording traversals / cache fills.
+// Returns physical hop count and latency, or ok=false if unreachable.
+func (n *Network) hop(a, b RouterID, counter string, learn []Pointer, countTraversals bool) (int, float64, bool) {
+	if a == b {
+		return 0, 0, true
+	}
+	path := n.LS.Path(a, b)
+	if path == nil {
+		return 0, 0, false
+	}
+	hops := len(path) - 1
+	n.Metrics.Count(counter, int64(hops))
+	lat := n.LS.Latency(a, b)
+	for _, node := range path[1:] {
+		if countTraversals {
+			n.traversals[node]++
+		}
+		if learn != nil {
+			for _, p := range learn {
+				n.Routers[node].Cache.Insert(p)
+			}
+		}
+	}
+	return hops, lat, true
+}
+
+// Outcome reports where greedy routing ended up.
+type Outcome struct {
+	Delivered bool
+	VN        *VirtualNode // delivered-to virtual node (nil if stuck)
+	Final     RouterID     // router where routing ended
+	FinalPos  ident.ID     // ring position at termination (the stuck VN's ID)
+	StuckVN   *VirtualNode // the VN routing got stuck at (the dst's predecessor)
+	Msgs      int
+	Latency   float64
+	// Path is the ordered sequence of physical routers the packet
+	// traversed, inclusive of the origin — multicast path-painting (§5.2)
+	// installs tree pointers along it.
+	Path []RouterID
+}
+
+// Accept decides delivery at a router: it returns the virtual node the
+// packet is delivered to, if any. The default accept matches the exact
+// destination identifier (resident or parked); anycast supplies a
+// group-membership predicate instead (§5.2).
+type Accept func(r *Router) (*VirtualNode, bool)
+
+// greedy routes a message from router `from` toward dst, implementing
+// Algorithm 2: at each router pick the closest identifier to dst that
+// does not overshoot it, among resident virtual nodes, their ring
+// pointers, parked ephemerals and the pointer cache (ring state takes
+// precedence on ties by being scanned first). The packet's current ring
+// position advances monotonically toward dst, which with the
+// no-overshoot rule makes forwarding loop-free.
+func (n *Network) greedy(from RouterID, dst ident.ID, counter string, learn []Pointer, countTraversals bool, avoid ...ident.ID) (Outcome, error) {
+	return n.greedyAccept(from, dst, counter, learn, countTraversals, nil, avoid...)
+}
+
+func (n *Network) greedyAccept(from RouterID, dst ident.ID, counter string, learn []Pointer, countTraversals bool, accept Accept, avoid ...ident.ID) (Outcome, error) {
+	if !n.LS.NodeUp(from) {
+		return Outcome{}, ErrRouterDown
+	}
+	out := Outcome{Final: from, Path: []RouterID{from}}
+	cur := from
+	pos := n.Routers[from].ID
+	posRouter := from
+	stale := map[ident.ID]bool{} // pointers observed broken this routing attempt
+	// A join's lookup must not chase the cache pointers it plants for the
+	// not-yet-resident joining identifier.
+	for _, a := range avoid {
+		stale[a] = true
+	}
+	// The pointer the packet is currently heading for; re-evaluated at
+	// every transit router and replaced whenever a strictly closer
+	// identifier is known locally.
+	var target Pointer
+	var targetVN *VirtualNode
+	haveTarget := false
+	for ttl := n.opts.TTL; ttl > 0; ttl-- {
+		r := n.Routers[cur]
+		if accept != nil {
+			if vn, ok := accept(r); ok {
+				out.Delivered, out.VN, out.Final, out.FinalPos = true, vn, cur, vn.ID
+				return out, nil
+			}
+		}
+		// Deliver: destination resident here, or parked here as an
+		// ephemeral child of a resident node.
+		if vn, ok := r.VNs[dst]; ok {
+			out.Delivered, out.VN, out.Final, out.FinalPos = true, vn, cur, dst
+			return out, nil
+		}
+		if p, ok := parkedAt(r, dst); ok {
+			h, lat, up := n.hop(cur, p.Router, counter, learn, countTraversals)
+			if up {
+				out.Msgs += h
+				out.Latency += lat
+				out.Path = appendHopPath(out.Path, n.LS.Path(cur, p.Router))
+				vn := n.Routers[p.Router].VNs[dst]
+				out.Delivered, out.VN, out.Final, out.FinalPos = true, vn, p.Router, dst
+				return out, nil
+			}
+			stale[dst] = true
+		}
+
+		// Re-run Algorithm 2's selection at *every* router the packet
+		// transits — intermediate routers with richer caches re-aim the
+		// packet toward strictly closer identifiers, which is what pulls
+		// stretch toward 1 as caches grow (§3.3, Fig 6a).
+		best, bestVN, ok := n.selectNextHop(r, pos, dst, stale)
+		if ok && best.Router == cur {
+			// Advance position locally at no cost — but only onto a ring
+			// member: a cached pointer may name an ephemeral resident,
+			// which has no onward ring state (§2.2) and must not become
+			// the packet's position.
+			if vnB := r.VNs[best.ID]; vnB != nil && !vnB.Ephemeral {
+				pos = best.ID
+				posRouter = cur
+				continue
+			}
+			stale[best.ID] = true
+			continue
+		}
+		if ok {
+			if !haveTarget || best.ID.Distance(dst).Cmp(target.ID.Distance(dst)) < 0 {
+				target, targetVN, haveTarget = best, bestVN, true
+			}
+		}
+		if !haveTarget {
+			// No local candidate progresses. The stuck verdict ("pos is
+			// dst's predecessor") is only sound at pos's own router,
+			// where pos's successor pointers live; if a stale pointer
+			// left us elsewhere, backtrack to the position's router and
+			// re-select there.
+			if cur != posRouter {
+				h, lat, up := n.hop(cur, posRouter, counter, learn, countTraversals)
+				if up {
+					out.Msgs += h
+					out.Latency += lat
+					out.Path = appendHopPath(out.Path, n.LS.Path(cur, posRouter))
+					cur = posRouter
+					out.Final = cur
+					continue
+				}
+			}
+			out.Final, out.FinalPos = cur, pos
+			out.StuckVN = r.VNs[pos]
+			return out, nil
+		}
+		if target.Router == cur {
+			// Arrived at the target's router: confirm a ring-member
+			// resident and advance the position; tolerate staleness
+			// during churn. Ephemeral residents are delivery endpoints,
+			// never positions (§2.2).
+			if vnT, resident := r.VNs[target.ID]; resident && !vnT.Ephemeral {
+				pos = target.ID
+				posRouter = cur
+			} else {
+				stale[target.ID] = true
+				if targetVN == nil {
+					r.Cache.Remove(target.ID)
+				}
+			}
+			haveTarget = false
+			continue
+		}
+		next, okHop := n.LS.NextHop(cur, target.Router)
+		if !okHop {
+			// Target unreachable in the current failure state.
+			stale[target.ID] = true
+			r.Cache.Remove(target.ID)
+			haveTarget = false
+			continue
+		}
+		// Move one physical hop toward the current target.
+		n.Metrics.Count(counter, 1)
+		out.Msgs++
+		if w, okW := n.LS.Graph().EdgeWeight(cur, next); okW {
+			out.Latency += w
+		}
+		if countTraversals {
+			n.traversals[next]++
+		}
+		for _, p := range learn {
+			n.Routers[next].Cache.Insert(p)
+		}
+		out.Path = append(out.Path, next)
+		cur = next
+		out.Final = cur
+	}
+	return out, ErrTTLExceeded
+}
+
+// learnControl gates the pointers control messages deposit in caches
+// along their path on the CacheControl option.
+func (n *Network) learnControl(learn []Pointer) []Pointer {
+	if !n.opts.CacheControl {
+		return nil
+	}
+	return learn
+}
+
+// selectNextHop scans the router's state for the candidate closest to
+// dst without overshooting pos→dst. Ring pointers are scanned before the
+// cache so they win ties (pointer precedence, §2.2). Returns the chosen
+// pointer and the resident VN it came from (nil if from the cache).
+func (n *Network) selectNextHop(r *Router, pos, dst ident.ID, stale map[ident.ID]bool) (Pointer, *VirtualNode, bool) {
+	var best Pointer
+	var bestVN *VirtualNode
+	var bestDist ident.ID
+	found := false
+	consider := func(p Pointer, vn *VirtualNode) {
+		if stale[p.ID] || !ident.Progress(pos, dst, p.ID) {
+			return
+		}
+		d := p.ID.Distance(dst)
+		if !found || d.Cmp(bestDist) < 0 {
+			best, bestVN, bestDist, found = p, vn, d, true
+		}
+	}
+	for _, vn := range r.VNs {
+		// Ephemeral hosts "cannot serve as successor or predecessor to
+		// other IDs" (§2.2): they carry no ring pointers, so using one as
+		// a greedy waypoint would strand the packet — and a join lookup
+		// stuck at one would splice the ring at the wrong predecessor.
+		// Exact-match delivery to them is handled before selection.
+		if vn.Ephemeral {
+			continue
+		}
+		consider(Pointer{ID: vn.ID, Router: r.Node}, vn)
+		for _, s := range vn.Succs {
+			consider(s, vn)
+		}
+		if vn.Pred != (Pointer{}) {
+			consider(vn.Pred, vn)
+		}
+	}
+	if p, ok := r.Cache.Lookup(pos, dst); ok {
+		// Cache beats ring state only when strictly closer (precedence).
+		if !stale[p.ID] {
+			d := p.ID.Distance(dst)
+			if !found || d.Cmp(bestDist) < 0 {
+				best, bestVN, found = p, nil, true
+			}
+		}
+	}
+	return best, bestVN, found
+}
+
+func parkedAt(r *Router, id ident.ID) (Pointer, bool) {
+	for _, vn := range r.VNs {
+		for _, p := range vn.Parked {
+			if p.ID == id {
+				return p, true
+			}
+		}
+	}
+	return Pointer{}, false
+}
+
+// --- Joining (Algorithm 1) ------------------------------------------------
+
+// JoinResult reports the cost of one host join — the quantities Figures
+// 5a–5c are built from.
+type JoinResult struct {
+	VN      *VirtualNode
+	Msgs    int
+	Latency float64
+}
+
+// JoinHost makes id resident at router `at` as a stable host and splices
+// it into the ring (join_internal, Algorithm 1): authenticate, locate
+// the predecessor by greedy-routing a join request toward id, splice
+// successor/predecessor pointers, and notify the successor. Control
+// messages deposit pointers to the joining identifier in caches along
+// their paths (§3.1 "intermediate routers may cache destination IDs
+// contained in the message").
+func (n *Network) JoinHost(id ident.ID, at RouterID) (JoinResult, error) {
+	return n.join(id, at, false)
+}
+
+// JoinEphemeral makes id resident at `at` as an ephemeral host: it only
+// establishes state at its ring predecessor (a parked backpointer) and
+// never serves as anyone's successor or predecessor (§2.2), roughly
+// halving join cost.
+func (n *Network) JoinEphemeral(id ident.ID, at RouterID) (JoinResult, error) {
+	return n.join(id, at, true)
+}
+
+func (n *Network) join(id ident.ID, at RouterID, ephemeral bool) (JoinResult, error) {
+	if !n.LS.NodeUp(at) {
+		return JoinResult{}, ErrRouterDown
+	}
+	if _, dup := n.hostedAt[id]; dup {
+		return JoinResult{}, fmt.Errorf("%w: %s", ErrDuplicateID, id.Short())
+	}
+	// Authentication (§2.1): host proves key possession to the hosting
+	// router over the local attachment link — no network-level messages.
+
+	learn := n.learnControl([]Pointer{{ID: id, Router: at}})
+	if ephemeral {
+		// Ephemeral identifiers are reached through their predecessor's
+		// parked state, never through cached waypoints; keep them out of
+		// pointer caches entirely.
+		learn = nil
+	}
+	out, err := n.greedy(at, id, MsgJoin, learn, false, id)
+	if err != nil {
+		return JoinResult{}, fmt.Errorf("locating predecessor of %s: %w", id.Short(), err)
+	}
+	if out.Delivered {
+		return JoinResult{}, fmt.Errorf("%w: %s", ErrDuplicateID, id.Short())
+	}
+	pred := out.StuckVN
+	if pred == nil {
+		return JoinResult{}, fmt.Errorf("%w: no predecessor found for %s", ErrRingCorrupted, id.Short())
+	}
+	if debugJoin {
+		ms := n.members()
+		idx := predecessorIndex(ms, id)
+		if ms[idx].ID != pred.ID {
+			panic(fmt.Sprintf("WRONG SPLICE joining %s: stuck at %s (eph=%v def=%v router=%d) want %s@%d; pos=%s final=%d msgs=%d",
+				id.Short(), pred.ID.Short(), pred.Ephemeral, pred.Default, pred.Router,
+				ms[idx].ID.Short(), ms[idx].Router, out.FinalPos.Short(), out.Final, out.Msgs))
+		}
+	}
+	msgs := out.Msgs
+	latency := out.Latency
+
+	// Predecessor replies to the gateway with the successor set.
+	replyLearn := n.learnControl([]Pointer{{ID: pred.ID, Router: pred.Router}})
+	h2, l2, up := n.hop(pred.Router, at, MsgJoin, replyLearn, false)
+	if !up {
+		return JoinResult{}, ErrNotReachable
+	}
+	msgs += h2
+
+	vn := &VirtualNode{ID: id, Router: at, Ephemeral: ephemeral}
+	self := Pointer{ID: id, Router: at}
+
+	if ephemeral {
+		// Ephemeral hosts only park a backpointer at the predecessor.
+		pred.Parked = append(pred.Parked, self)
+		n.Routers[at].VNs[id] = vn
+		n.hostedAt[id] = at
+		latency += l2
+		res := JoinResult{VN: vn, Msgs: msgs, Latency: latency}
+		n.Metrics.Sample(SampleJoinMsgs, float64(msgs))
+		n.Metrics.Sample(SampleJoinLatency, latency)
+		return res, nil
+	}
+
+	// Splice: the new node inherits the predecessor's successor group;
+	// the predecessor's immediate successor becomes the new node.
+	vn.Succs = append([]Pointer(nil), pred.Succs...)
+	trimGroup(&vn.Succs, n.opts.SuccessorGroup)
+	vn.Pred = Pointer{ID: pred.ID, Router: pred.Router}
+	pred.Succs = prependGroup(pred.Succs, self, n.opts.SuccessorGroup)
+
+	// Parked ephemerals in (id, oldSuccessor) now have the new node as
+	// their ring predecessor; hand their parking over (§2.2 keeps
+	// ephemeral state at the predecessor).
+	keptParked := pred.Parked[:0]
+	for _, e := range pred.Parked {
+		if ident.BetweenOpen(e.ID, pred.ID, id) {
+			keptParked = append(keptParked, e)
+		} else {
+			vn.Parked = append(vn.Parked, e)
+		}
+	}
+	pred.Parked = keptParked
+
+	n.Routers[at].VNs[id] = vn
+	n.hostedAt[id] = at
+
+	// Notify the successor to update its predecessor pointer; the
+	// predecessor sends this in parallel with its reply to the gateway,
+	// and the successor acks to the gateway (§6.2: joins complete in
+	// about a network diameter because messages overlap).
+	var l34 float64
+	if s, ok := vn.Succ(); ok {
+		if svn := n.vnAt(s); svn != nil {
+			h3, l3, up3 := n.hop(pred.Router, s.Router, MsgJoin, learn, false)
+			if up3 {
+				msgs += h3
+				svn.Pred = self
+				h4, l4, up4 := n.hop(s.Router, at, MsgJoin, nil, false)
+				if up4 {
+					msgs += h4
+				}
+				l34 = l3 + l4
+			}
+		}
+	}
+	latency += maxf(l2, l34)
+
+	n.Metrics.Sample(SampleJoinMsgs, float64(msgs))
+	n.Metrics.Sample(SampleJoinLatency, latency)
+	return JoinResult{VN: vn, Msgs: msgs, Latency: latency}, nil
+}
+
+func (n *Network) vnAt(p Pointer) *VirtualNode {
+	if p.Router < 0 || int(p.Router) >= len(n.Routers) {
+		return nil
+	}
+	return n.Routers[p.Router].VNs[p.ID]
+}
+
+func trimGroup(g *[]Pointer, max int) {
+	if len(*g) > max {
+		*g = (*g)[:max]
+	}
+}
+
+func prependGroup(g []Pointer, p Pointer, max int) []Pointer {
+	out := make([]Pointer, 0, max)
+	out = append(out, p)
+	for _, e := range g {
+		if e.ID == p.ID {
+			continue
+		}
+		if len(out) >= max {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Data routing ----------------------------------------------------------
+
+// RouteResult reports one data packet's fate.
+type RouteResult struct {
+	Delivered bool
+	Hops      int     // physical links traversed
+	Shortest  int     // link-state shortest hop count to the hosting router
+	Stretch   float64 // traversed latency / shortest-path latency (>= 1)
+	Latency   float64
+	Final     RouterID
+}
+
+// Route forwards a data packet from router `from` toward dst and reports
+// the traversed path length and stretch relative to shortest-path
+// routing — the paper's primary data-plane metric (§6.1).
+func (n *Network) Route(from RouterID, dst ident.ID) (RouteResult, error) {
+	host, known := n.hostedAt[dst]
+	var learn []Pointer
+	if n.opts.SnoopData && known {
+		if vn := n.Routers[host].VNs[dst]; vn != nil && !vn.Ephemeral {
+			learn = []Pointer{{ID: dst, Router: host}}
+		}
+	}
+	out, err := n.greedy(from, dst, MsgData, learn, true)
+	if err != nil {
+		return RouteResult{}, err
+	}
+	if !out.Delivered {
+		if !known {
+			return RouteResult{}, fmt.Errorf("%w: %s", ErrUnknownID, dst.Short())
+		}
+		return RouteResult{}, fmt.Errorf("%w: %s stuck at router %d", ErrNoRoute, dst.Short(), out.Final)
+	}
+	res := RouteResult{
+		Delivered: true,
+		Hops:      out.Msgs,
+		Latency:   out.Latency,
+		Final:     out.Final,
+	}
+	if known {
+		res.Shortest = n.LS.Hops(from, host)
+		// Stretch compares weighted path lengths so that, by the triangle
+		// inequality, it is always >= 1; hop-count ratios can dip below 1
+		// when the latency-shortest path is hop-longer.
+		direct := n.LS.Latency(from, host)
+		if direct <= 0 || res.Latency <= direct {
+			res.Stretch = 1
+		} else {
+			res.Stretch = res.Latency / direct
+		}
+		n.Metrics.Sample(SampleStretch, res.Stretch)
+	}
+	return res, nil
+}
+
+// Lookup performs a control-plane route toward dst without data-plane
+// accounting, returning the router where greedy routing terminates. It
+// is the primitive the interdomain layer builds on.
+func (n *Network) Lookup(from RouterID, dst ident.ID) (Outcome, error) {
+	return n.greedy(from, dst, MsgJoin, nil, false)
+}
+
+// RouteMatch forwards a packet greedily toward dst but delivers at the
+// first router where accept matches — the primitive behind anycast
+// ("the packet reaching the first server in G for which the packet
+// encounters a route", §5.2) and multicast tree painting. Identifiers in
+// avoid are never used as forwarding waypoints (a group member probing
+// its own group must not terminate at itself).
+func (n *Network) RouteMatch(from RouterID, dst ident.ID, accept Accept, avoid ...ident.ID) (Outcome, error) {
+	return n.greedyAccept(from, dst, MsgData, nil, true, accept, avoid...)
+}
+
+// appendHopPath extends a traversal record with the intermediate routers
+// of one forwarding leg (the leg's first router is already recorded).
+func appendHopPath(path []RouterID, leg []topology.NodeID) []RouterID {
+	if len(leg) > 1 {
+		path = append(path, leg[1:]...)
+	}
+	return path
+}

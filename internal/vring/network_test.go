@@ -1,0 +1,432 @@
+package vring
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rofl/internal/ident"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+// testISP is a small but non-trivial ISP: 6 PoPs, ~40 routers.
+func testISP() *topology.ISP {
+	return topology.GenISP(topology.ISPConfig{
+		Name: "test", Routers: 40, PoPs: 6, BackbonePerPoP: 2, PoPDegree: 2,
+		IntraPoPDelay: 0.5, InterPoPDelay: 5, Hosts: 100, ZipfS: 1.2, Seed: 7,
+	})
+}
+
+func newTestNet(t *testing.T, opts Options) (*Network, *topology.ISP) {
+	t.Helper()
+	isp := testISP()
+	m := sim.NewMetrics()
+	return New(isp.Graph, m, opts), isp
+}
+
+// joinN joins n deterministic host IDs at round-robin access routers.
+func joinN(t *testing.T, n *Network, isp *topology.ISP, count int) []ident.ID {
+	t.Helper()
+	ids := make([]ident.ID, 0, count)
+	for i := 0; i < count; i++ {
+		id := ident.FromString(fmt.Sprintf("host-%d", i))
+		at := isp.Access[i%len(isp.Access)]
+		if _, err := n.JoinHost(id, at); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func TestBootstrapRingConsistent(t *testing.T) {
+	n, _ := newTestNet(t, DefaultOptions())
+	if err := n.CheckRing(); err != nil {
+		t.Fatalf("bootstrap ring inconsistent: %v", err)
+	}
+	if n.Metrics.Counter(MsgBootstrap) == 0 {
+		t.Fatal("bootstrap flood not charged")
+	}
+	if n.NumHosts() != 0 {
+		t.Fatalf("fresh network has %d hosts", n.NumHosts())
+	}
+}
+
+func TestJoinMaintainsRing(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	joinN(t, n, isp, 50)
+	if err := n.CheckRing(); err != nil {
+		t.Fatalf("ring broken after joins: %v", err)
+	}
+	if n.NumHosts() != 50 {
+		t.Fatalf("hosts = %d", n.NumHosts())
+	}
+}
+
+func TestJoinDuplicateRejected(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	id := ident.FromString("dup")
+	if _, err := n.JoinHost(id, isp.Access[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.JoinHost(id, isp.Access[1]); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("want ErrDuplicateID, got %v", err)
+	}
+}
+
+func TestJoinOverheadBounded(t *testing.T) {
+	// Paper §6.2: join overhead ≈ 4 messages × network diameter.
+	n, isp := newTestNet(t, DefaultOptions())
+	diam := isp.Graph.DiameterHops(0, nil)
+	joinN(t, n, isp, 40)
+	s := sim.Summarize(n.Metrics.Samples(SampleJoinMsgs))
+	if s.Mean > float64(6*diam) {
+		t.Fatalf("mean join overhead %.1f exceeds 6x diameter (%d)", s.Mean, diam)
+	}
+	if s.Max > float64(12*diam) {
+		t.Fatalf("max join overhead %.0f exceeds 12x diameter (%d)", s.Max, diam)
+	}
+	if s.Mean <= 0 {
+		t.Fatal("join overhead must be positive")
+	}
+}
+
+func TestRouteDelivers(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	ids := joinN(t, n, isp, 30)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		from := isp.Access[rng.Intn(len(isp.Access))]
+		dst := ids[rng.Intn(len(ids))]
+		res, err := n.Route(from, dst)
+		if err != nil {
+			t.Fatalf("route to %s: %v", dst.Short(), err)
+		}
+		if !res.Delivered {
+			t.Fatal("not delivered")
+		}
+		host, _ := n.HostingRouter(dst)
+		if res.Final != host {
+			t.Fatalf("delivered to %d, hosted at %d", res.Final, host)
+		}
+		if res.Stretch < 1 && res.Hops > 0 {
+			t.Fatalf("stretch %v < 1", res.Stretch)
+		}
+	}
+}
+
+func TestRouteToSelfHostedID(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	id := ident.FromString("local")
+	at := isp.Access[0]
+	if _, err := n.JoinHost(id, at); err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Route(at, id)
+	if err != nil || res.Hops != 0 || res.Stretch != 1 {
+		t.Fatalf("self route: res=%+v err=%v", res, err)
+	}
+}
+
+func TestRouteUnknownID(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	joinN(t, n, isp, 5)
+	_, err := n.Route(isp.Access[0], ident.FromString("ghost"))
+	if !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("want ErrUnknownID, got %v", err)
+	}
+}
+
+func TestEphemeralJoinAndRoute(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	joinN(t, n, isp, 20)
+	eph := ident.FromString("laptop")
+	res, err := n.JoinEphemeral(eph, isp.Access[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CheckRing(); err != nil {
+		t.Fatalf("ephemeral join broke ring: %v", err)
+	}
+	// Ephemeral joins are cheaper: they only contact the predecessor.
+	stable := sim.Summarize(n.Metrics.Samples(SampleJoinMsgs))
+	if float64(res.Msgs) > stable.Max {
+		t.Logf("ephemeral join %d msgs vs stable max %.0f", res.Msgs, stable.Max)
+	}
+	// Routing to the ephemeral ID works from anywhere.
+	for _, from := range []RouterID{isp.Access[0], isp.Backbone[0], isp.Access[7]} {
+		r, err := n.Route(from, eph)
+		if err != nil || !r.Delivered {
+			t.Fatalf("route to ephemeral from %d: %+v %v", from, r, err)
+		}
+	}
+}
+
+func TestEphemeralNotASuccessor(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	joinN(t, n, isp, 10)
+	eph := ident.FromString("laptop2")
+	if _, err := n.JoinEphemeral(eph, isp.Access[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range n.Routers {
+		for _, vn := range r.VNs {
+			for _, s := range vn.Succs {
+				if s.ID == eph {
+					t.Fatal("ephemeral ID must not appear in successor lists")
+				}
+			}
+			if vn.Pred.ID == eph {
+				t.Fatal("ephemeral ID must not be a predecessor")
+			}
+		}
+	}
+}
+
+func TestCachingReducesStretch(t *testing.T) {
+	// Fig 6a shape: bigger pointer caches → lower stretch.
+	run := func(capacity int) float64 {
+		isp := testISP()
+		m := sim.NewMetrics()
+		opts := DefaultOptions()
+		opts.CacheCapacity = capacity
+		n := New(isp.Graph, m, opts)
+		rng := rand.New(rand.NewSource(9))
+		var ids []ident.ID
+		for i := 0; i < 150; i++ {
+			id := ident.FromString(fmt.Sprintf("h%d", i))
+			if _, err := n.JoinHost(id, isp.Access[rng.Intn(len(isp.Access))]); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		var total float64
+		const probes = 300
+		for i := 0; i < probes; i++ {
+			from := isp.Access[rng.Intn(len(isp.Access))]
+			res, err := n.Route(from, ids[rng.Intn(len(ids))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Stretch
+		}
+		return total / probes
+	}
+	none := run(0)
+	big := run(100000)
+	if big >= none {
+		t.Fatalf("caching should cut stretch: none=%.2f big=%.2f", none, big)
+	}
+	if big < 1 {
+		t.Fatalf("stretch below 1 impossible: %v", big)
+	}
+}
+
+func TestControlCachingDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CacheControl = false
+	n, isp := newTestNet(t, opts)
+	joinN(t, n, isp, 20)
+	for _, r := range n.Routers {
+		if r.Cache.Len() != 0 {
+			t.Fatal("caches must stay empty with CacheControl off")
+		}
+	}
+}
+
+func TestSnoopDataFillsCaches(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CacheControl = false
+	opts.SnoopData = true
+	n, isp := newTestNet(t, opts)
+	ids := joinN(t, n, isp, 20)
+	// Route until some cache is non-empty.
+	rng := rand.New(rand.NewSource(4))
+	filled := false
+	for i := 0; i < 50 && !filled; i++ {
+		if _, err := n.Route(isp.Access[rng.Intn(len(isp.Access))], ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range n.Routers {
+			if r.Cache.Len() > 0 {
+				filled = true
+				break
+			}
+		}
+	}
+	if !filled {
+		t.Fatal("data snooping should fill caches")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	joinN(t, n, isp, 30)
+	total := 0
+	for _, r := range n.Routers {
+		total += r.MemoryEntries()
+		if r.ResidentIDs() < 1 {
+			t.Fatal("every router hosts at least its default VN")
+		}
+	}
+	if total == 0 {
+		t.Fatal("memory accounting empty")
+	}
+}
+
+func TestTraversalsCounted(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	ids := joinN(t, n, isp, 20)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		if _, err := n.Route(isp.Access[rng.Intn(len(isp.Access))], ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum int64
+	for _, c := range n.Traversals() {
+		sum += c
+	}
+	if sum == 0 {
+		t.Fatal("traversals not counted")
+	}
+}
+
+func TestJoinAtDownRouter(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	n.LS.FailNode(isp.Access[0])
+	if _, err := n.JoinHost(ident.FromString("x"), isp.Access[0]); !errors.Is(err, ErrRouterDown) {
+		t.Fatalf("want ErrRouterDown, got %v", err)
+	}
+}
+
+func TestJoinLatencyPositive(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	joinN(t, n, isp, 20)
+	lat := sim.Summarize(n.Metrics.Samples(SampleJoinLatency))
+	if lat.Mean <= 0 {
+		t.Fatal("join latency must be positive for non-local joins")
+	}
+	// Latency should be on the order of a few network crossings, not
+	// hundreds of ms on this small topology.
+	if lat.Max > 500 {
+		t.Fatalf("latency implausible: %v", lat.Max)
+	}
+}
+
+func TestLookupTerminatesAtPredecessor(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	ids := joinN(t, n, isp, 20)
+	// Lookup of an existing ID delivers at its hosting router.
+	out, err := n.Lookup(isp.Backbone[0], ids[3])
+	if err != nil || !out.Delivered {
+		t.Fatalf("lookup existing: %+v %v", out, err)
+	}
+	// Lookup of an absent ID terminates stuck at its ring predecessor.
+	absent := ident.FromString("absent-key")
+	out, err = n.Lookup(isp.Backbone[0], absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered || out.StuckVN == nil {
+		t.Fatalf("lookup absent must stick at predecessor: %+v", out)
+	}
+	if !ident.BetweenOpen(absent, out.StuckVN.ID, mustSucc(t, out.StuckVN).ID) && mustSucc(t, out.StuckVN).ID != absent {
+		t.Fatalf("stuck VN %s is not the predecessor of %s", out.StuckVN.ID.Short(), absent.Short())
+	}
+}
+
+func mustSucc(t *testing.T, vn *VirtualNode) Pointer {
+	t.Helper()
+	s, ok := vn.Succ()
+	if !ok {
+		t.Fatal("virtual node has no successor")
+	}
+	return s
+}
+
+func TestOptionsAccessors(t *testing.T) {
+	opts := DefaultOptions()
+	n, _ := newTestNet(t, opts)
+	if n.Options().CacheCapacity != opts.CacheCapacity {
+		t.Fatal("Options() must round-trip")
+	}
+	if n.Routers[0].Cache.Cap() != opts.CacheCapacity {
+		t.Fatal("cache capacity must match options")
+	}
+}
+
+func TestGreedyPathRecorded(t *testing.T) {
+	n, isp := newTestNet(t, DefaultOptions())
+	ids := joinN(t, n, isp, 20)
+	out, err := n.RouteMatch(isp.Backbone[0], ids[0], nil)
+	if err != nil || !out.Delivered {
+		t.Fatalf("route: %+v %v", out, err)
+	}
+	if len(out.Path) != out.Msgs+1 {
+		t.Fatalf("path records %d routers for %d hops", len(out.Path), out.Msgs)
+	}
+	if out.Path[0] != isp.Backbone[0] || out.Path[len(out.Path)-1] != out.Final {
+		t.Fatal("path endpoints wrong")
+	}
+	// Consecutive path entries must be physically adjacent.
+	g := isp.Graph
+	for i := 1; i < len(out.Path); i++ {
+		if !g.HasEdge(out.Path[i-1], out.Path[i]) {
+			t.Fatalf("path hop %d-%d not a physical link", out.Path[i-1], out.Path[i])
+		}
+	}
+}
+
+func TestAllPairsDeliveryAcrossSeeds(t *testing.T) {
+	// Semi-exhaustive delivery check: on several independently generated
+	// small networks, every (router, identifier) pair must deliver with
+	// stretch >= 1 — the network-level corollary of the greedy-progress
+	// property.
+	for seed := int64(1); seed <= 5; seed++ {
+		isp := topology.GenISP(topology.ISPConfig{
+			Name: "prop", Routers: 24, PoPs: 4, BackbonePerPoP: 2, PoPDegree: 2,
+			IntraPoPDelay: 0.5, InterPoPDelay: 3, Hosts: 50, ZipfS: 1.2, Seed: seed,
+		})
+		m := sim.NewMetrics()
+		opts := DefaultOptions()
+		opts.Seed = seed
+		n := New(isp.Graph, m, opts)
+		var ids []ident.ID
+		for i := 0; i < 15; i++ {
+			id := ident.FromString(fmt.Sprintf("prop-%d-%d", seed, i))
+			if _, err := n.JoinHost(id, isp.Access[i%len(isp.Access)]); err != nil {
+				t.Fatalf("seed %d join: %v", seed, err)
+			}
+			ids = append(ids, id)
+		}
+		if err := n.CheckRing(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for r := 0; r < isp.Graph.NumNodes(); r++ {
+			for _, id := range ids {
+				res, err := n.Route(RouterID(r), id)
+				if err != nil || !res.Delivered {
+					t.Fatalf("seed %d: route %d->%s: %+v %v", seed, r, id.Short(), res, err)
+				}
+				if res.Stretch < 1 {
+					t.Fatalf("seed %d: stretch %v < 1", seed, res.Stretch)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeWeightHelper(t *testing.T) {
+	g := topology.NewGraph(2)
+	a, b := g.AddNode(), g.AddNode()
+	g.AddEdge(a, b, 2.5)
+	if w, ok := g.EdgeWeight(a, b); !ok || w != 2.5 {
+		t.Fatalf("EdgeWeight = %v %v", w, ok)
+	}
+	if _, ok := g.EdgeWeight(a, a); ok {
+		t.Fatal("absent edge must not resolve")
+	}
+}

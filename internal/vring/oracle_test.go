@@ -1,0 +1,16 @@
+package vring
+
+import "testing"
+
+// TestJoinPredecessorOracle runs the churn soak with the join-time
+// oracle cross-check enabled: every join's greedy predecessor lookup is
+// compared against the sorted member list and any mismatch panics with a
+// full diagnostic. This is the regression harness that caught ephemeral
+// residents being used as ring positions (see §2.2: ephemeral hosts
+// "cannot serve as successor or predecessor to other IDs").
+func TestJoinPredecessorOracle(t *testing.T) {
+	debugJoin = true
+	t.Cleanup(func() { debugJoin = false })
+	soakOneSeed(t, 101, 250)
+	soakOneSeed(t, 777, 250)
+}

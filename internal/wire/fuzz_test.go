@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRoundTrip feeds arbitrary bytes to the decoder (it must
+// never panic) and, when they parse, re-encodes and re-decodes to verify
+// the codec is a lossless fixed point.
+func FuzzDecodeRoundTrip(f *testing.F) {
+	seed := samplePacket()
+	buf, _ := seed.Marshal()
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{Version, byte(TypeData)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := p.DecodeFromBytes(data); err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+		var q Packet
+		if err := q.DecodeFromBytes(out); err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		out2, err := q.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("encode/decode is not a fixed point")
+		}
+	})
+}

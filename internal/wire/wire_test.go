@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rofl/internal/ident"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Type:       TypeData,
+		Flags:      FlagPeered,
+		TTL:        200,
+		Dst:        ident.FromString("dst"),
+		Src:        ident.FromString("src"),
+		ASRoute:    []uint32{7018, 1239, 3356},
+		Capability: []byte{1, 2, 3},
+		Payload:    []byte("hello flat world"),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.EncodedLen() {
+		t.Fatalf("len = %d want %d", len(buf), p.EncodedLen())
+	}
+	var q Packet
+	if err := q.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != p.Type || q.Flags != p.Flags || q.TTL != p.TTL || q.Dst != p.Dst || q.Src != p.Src {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.ASRoute) != 3 || q.ASRoute[2] != 3356 {
+		t.Fatalf("route = %v", q.ASRoute)
+	}
+	if !bytes.Equal(q.Capability, p.Capability) || !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatal("variable sections mismatch")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(flags, ttl uint8, route []uint32, capab, payload []byte) bool {
+		if len(route) > MaxASRoute {
+			route = route[:MaxASRoute]
+		}
+		if len(capab) > MaxCapability {
+			capab = capab[:MaxCapability]
+		}
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		p := &Packet{
+			Type: TypeJoinRequest, Flags: flags, TTL: ttl,
+			Dst: ident.Random(rng), Src: ident.Random(rng),
+			ASRoute: route, Capability: capab, Payload: payload,
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		var q Packet
+		if err := q.DecodeFromBytes(buf); err != nil {
+			return false
+		}
+		if q.Dst != p.Dst || q.Src != p.Src || q.Flags != flags || q.TTL != ttl {
+			return false
+		}
+		if len(q.ASRoute) != len(route) {
+			return false
+		}
+		for i := range route {
+			if q.ASRoute[i] != route[i] {
+				return false
+			}
+		}
+		return bytes.Equal(q.Capability, capab) && bytes.Equal(q.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	p := samplePacket()
+	buf, _ := p.Marshal()
+
+	var q Packet
+	if err := q.DecodeFromBytes(buf[:3]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	if err := q.DecodeFromBytes(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short body: %v", err)
+	}
+
+	bad := append([]byte(nil), buf...)
+	bad[0] = 99
+	if err := q.DecodeFromBytes(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	bad = append([]byte(nil), buf...)
+	bad[1] = 0
+	if err := q.DecodeFromBytes(bad); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type 0: %v", err)
+	}
+	bad[1] = byte(typeMax)
+	if err := q.DecodeFromBytes(bad); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type max: %v", err)
+	}
+}
+
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var p Packet
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		_ = p.DecodeFromBytes(buf) // must not panic
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	p := samplePacket()
+	p.Type = 0
+	if _, err := p.Marshal(); !errors.Is(err, ErrBadType) {
+		t.Fatalf("zero type: %v", err)
+	}
+	p = samplePacket()
+	p.ASRoute = make([]uint32, MaxASRoute+1)
+	if _, err := p.Marshal(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("long route: %v", err)
+	}
+	p = samplePacket()
+	p.Capability = make([]byte, MaxCapability+1)
+	if _, err := p.Marshal(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("long capability: %v", err)
+	}
+	p = samplePacket()
+	p.Payload = make([]byte, 0x10000)
+	if _, err := p.Marshal(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("long payload: %v", err)
+	}
+}
+
+func TestPushAS(t *testing.T) {
+	var p Packet
+	if err := p.PushAS(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushAS(100); err != nil { // duplicate collapsed
+		t.Fatal(err)
+	}
+	if len(p.ASRoute) != 1 {
+		t.Fatalf("route = %v", p.ASRoute)
+	}
+	if err := p.PushAS(200); err != nil {
+		t.Fatal(err)
+	}
+	if !p.TraversedAS(100) || !p.TraversedAS(200) || p.TraversedAS(300) {
+		t.Fatal("TraversedAS wrong")
+	}
+	p.ASRoute = make([]uint32, MaxASRoute)
+	if err := p.PushAS(999); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("full route: %v", err)
+	}
+}
+
+func TestDecodeReusesBuffers(t *testing.T) {
+	p := samplePacket()
+	buf, _ := p.Marshal()
+	var q Packet
+	q.ASRoute = make([]uint32, 0, 16)
+	q.Payload = make([]byte, 0, 64)
+	q.Capability = make([]byte, 0, 16)
+	for i := 0; i < 3; i++ {
+		if err := q.DecodeFromBytes(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(q.ASRoute) != 3 || len(q.Payload) != len(p.Payload) {
+		t.Fatal("repeat decode corrupted state")
+	}
+	// Mutating the source buffer must not change the decoded packet.
+	buf[len(buf)-1] ^= 0xff
+	if q.Payload[len(q.Payload)-1] == buf[len(buf)-1] {
+		t.Fatal("decoded payload aliases input buffer")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ := TypeData; typ < typeMax; typ++ {
+		if typ.String() == "" {
+			t.Fatalf("type %d has no name", typ)
+		}
+	}
+	if Type(200).String() != "type(200)" {
+		t.Fatal("unknown type rendering wrong")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	if samplePacket().String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := samplePacket()
+	buf := make([]byte, 0, p.EncodedLen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if _, err := p.AppendTo(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p := samplePacket()
+	buf, _ := p.Marshal()
+	var q Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := q.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

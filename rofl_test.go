@@ -1,0 +1,256 @@
+package rofl_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"rofl"
+)
+
+// TestQuickstartFlow exercises the README quick-start end to end through
+// the public API only.
+func TestQuickstartFlow(t *testing.T) {
+	isp := rofl.GenISP(rofl.ISPConfig{
+		Name: "quick", Routers: 60, PoPs: 6, BackbonePerPoP: 2, PoPDegree: 2,
+		IntraPoPDelay: 0.5, InterPoPDelay: 5, Hosts: 120, ZipfS: 1.2, Seed: 1,
+	})
+	net := rofl.NewNetwork(isp.Graph, rofl.NewMetrics(), rofl.DefaultNetworkOptions())
+
+	var ids []rofl.ID
+	for i := 0; i < 40; i++ {
+		id := rofl.IDFromString(fmt.Sprintf("svc-%d", i))
+		if _, err := net.JoinHost(id, isp.Access[i%len(isp.Access)]); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := net.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		res, err := net.Route(isp.Access[(i*3+1)%len(isp.Access)], id)
+		if err != nil || !res.Delivered {
+			t.Fatalf("route: %+v %v", res, err)
+		}
+		if res.Stretch < 1 {
+			t.Fatalf("stretch %v", res.Stretch)
+		}
+	}
+}
+
+func TestPublicInterdomainFlow(t *testing.T) {
+	gen := rofl.DefaultASGen()
+	gen.Tier1, gen.Tier2, gen.Stubs, gen.Hosts = 4, 12, 50, 500
+	g := rofl.GenAS(gen)
+	in := rofl.NewInternet(g, rofl.NewMetrics(), rofl.DefaultInternetOptions())
+	var ids []rofl.ID
+	rng := mrand.New(mrand.NewSource(1))
+	stubs := g.Stubs()
+	for i := 0; i < 60; i++ {
+		id := rofl.IDFromString(fmt.Sprintf("global-%d", i))
+		if _, err := in.Join(id, stubs[rng.Intn(len(stubs))], rofl.Multihomed); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := in.CheckRings(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckIsolationState(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		src, dst := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		if src == dst {
+			continue
+		}
+		res, err := in.Route(src, dst)
+		if err != nil || !res.Delivered {
+			t.Fatalf("route: %+v %v", res, err)
+		}
+	}
+}
+
+func TestPublicIdentityAndCapabilities(t *testing.T) {
+	server, err := rofl.NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := rofl.IDFromString("client")
+	reg := rofl.NewRegistry(100)
+	gate := rofl.NewGate(reg)
+	if err := reg.Register(server.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+	cap := rofl.GrantCapability(server, client, 5000)
+	if err := gate.Admit(client, server.ID(), &cap, 100); err != nil {
+		t.Fatalf("capability flow broken: %v", err)
+	}
+	if err := gate.Admit(client, server.ID(), nil, 100); err == nil {
+		t.Fatal("default-off must drop unauthorized traffic")
+	}
+}
+
+func TestPublicAnycastMulticast(t *testing.T) {
+	isp := rofl.GenISP(rofl.ISPConfig{
+		Name: "any", Routers: 40, PoPs: 5, BackbonePerPoP: 2, PoPDegree: 2,
+		IntraPoPDelay: 0.5, InterPoPDelay: 4, Hosts: 80, ZipfS: 1.2, Seed: 3,
+	})
+	m := rofl.NewMetrics()
+	net := rofl.NewNetwork(isp.Graph, m, rofl.DefaultNetworkOptions())
+	for i := 0; i < 15; i++ {
+		if _, err := net.JoinHost(rofl.IDFromString(fmt.Sprintf("bg-%d", i)), isp.Access[i%len(isp.Access)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := rofl.GroupFromString("cdn")
+	any := rofl.NewAnycast(net, g)
+	for i := 0; i < 3; i++ {
+		if _, err := any.AddMember(uint32(i+1), isp.Access[i*4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := mrand.New(mrand.NewSource(4))
+	if _, err := any.Send(isp.Backbone[0], rng); err != nil {
+		t.Fatal(err)
+	}
+
+	mg := rofl.GroupFromString("stream")
+	mc := rofl.NewMulticast(net, mg, m)
+	for i := 0; i < 4; i++ {
+		if err := mc.Join(uint32(i+1), isp.Access[(i*3+1)%len(isp.Access)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reached, _, err := mc.Send(mg.Member(1))
+	if err != nil || len(reached) != 4 {
+		t.Fatalf("multicast reached %d/4: %v", len(reached), err)
+	}
+}
+
+func TestPublicOverlay(t *testing.T) {
+	a, err := rofl.NewOverlayNode(rofl.IDFromString("a"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Bootstrap()
+	b, err := rofl.NewOverlayNode(rofl.IDFromString("b"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(a.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.ID(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-b.Deliveries():
+		if string(d.Payload) != "ping" {
+			t.Fatalf("payload %q", d.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("overlay delivery timed out")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(rofl.Experiments()) < 13 {
+		t.Fatalf("experiments = %d, want all figures", len(rofl.Experiments()))
+	}
+	r, ok := rofl.ExperimentByID("fig6a")
+	if !ok {
+		t.Fatal("fig6a missing")
+	}
+	cfg := rofl.QuickExperimentConfig()
+	cfg.HostsPerISP, cfg.Pairs, cfg.InterHosts = 40, 40, 80
+	tab := r.Run(cfg)
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty experiment table")
+	}
+}
+
+func TestIDParseRoundTrip(t *testing.T) {
+	id := rofl.IDFromBytes([]byte{1, 2, 3})
+	got, err := rofl.ParseID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+}
+
+// TestCapabilityOverUDPOverlay wires the full §5.3 flow over real
+// sockets: a self-certifying receiver installs a capability gate, the
+// sender carries a marshaled ed25519 capability in the wire header, and
+// the overlay drops everything else.
+func TestCapabilityOverUDPOverlay(t *testing.T) {
+	receiverIdentity, err := rofl.NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := rofl.NewOverlayNode(receiverIdentity.ID(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	recv.Bootstrap()
+
+	senderID := rofl.IDFromString("sender")
+	send, err := rofl.NewOverlayNode(senderID, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	if err := send.Join(recv.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default-off: only packets with a valid, unexpired capability pass.
+	const now = 100
+	recv.SetGate(func(src rofl.ID, capBytes []byte) error {
+		cap, err := rofl.UnmarshalCapability(capBytes)
+		if err != nil {
+			return err
+		}
+		return cap.Verify(src, receiverIdentity.ID(), now)
+	})
+
+	// No capability: dropped.
+	if err := send.Send(receiverIdentity.ID(), []byte("nope")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-recv.Deliveries():
+		t.Fatalf("unauthorized packet delivered: %q", d.Payload)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// Valid capability: delivered.
+	cap := rofl.GrantCapability(receiverIdentity, senderID, 1000)
+	if err := send.SendWithCapability(receiverIdentity.ID(), []byte("authorized"), cap.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-recv.Deliveries():
+		if string(d.Payload) != "authorized" {
+			t.Fatalf("payload %q", d.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("authorized packet not delivered")
+	}
+
+	// Expired capability: dropped again.
+	expired := rofl.GrantCapability(receiverIdentity, senderID, now-1)
+	if err := send.SendWithCapability(receiverIdentity.ID(), []byte("late"), expired.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-recv.Deliveries():
+		t.Fatalf("expired capability delivered: %q", d.Payload)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
