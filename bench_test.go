@@ -19,14 +19,22 @@ func benchConfig() rofl.ExperimentConfig {
 	return cfg
 }
 
-// runFigure wraps one experiment driver as a benchmark and reports the
-// driver's headline number as a custom metric where it has one.
+// runFigure wraps one experiment driver as a benchmark, running trials
+// across the default worker pool (Workers = NumCPU).
 func runFigure(b *testing.B, id string) {
+	runFigureWorkers(b, id, 0)
+}
+
+// runFigureWorkers runs one experiment driver with an explicit Workers
+// setting. workers == 0 means the default (NumCPU); workers == 1 forces
+// the serial path, giving the baseline for the parallel speedup.
+func runFigureWorkers(b *testing.B, id string, workers int) {
 	r, ok := rofl.ExperimentByID(id)
 	if !ok {
 		b.Fatalf("experiment %q not registered", id)
 	}
 	cfg := benchConfig()
+	cfg.Workers = workers
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab := r.Run(cfg)
@@ -39,8 +47,14 @@ func runFigure(b *testing.B, id string) {
 // --- One benchmark per paper table/figure ---------------------------------
 
 // BenchmarkFig5aJoinOverhead regenerates Fig 5a: intradomain cumulative
-// join overhead vs IDs, against the CMU-ETHERNET baseline.
+// join overhead vs IDs, against the CMU-ETHERNET baseline. Trials fan
+// out across NumCPU workers; compare with the Serial variant below for
+// the parallel speedup on multi-core machines.
 func BenchmarkFig5aJoinOverhead(b *testing.B) { runFigure(b, "fig5a") }
+
+// BenchmarkFig5aJoinOverheadSerial is the Workers=1 baseline for
+// BenchmarkFig5aJoinOverhead; both produce byte-identical tables.
+func BenchmarkFig5aJoinOverheadSerial(b *testing.B) { runFigureWorkers(b, "fig5a", 1) }
 
 // BenchmarkFig5bJoinCDF regenerates Fig 5b: per-host join overhead CDF.
 func BenchmarkFig5bJoinCDF(b *testing.B) { runFigure(b, "fig5b") }
@@ -64,6 +78,10 @@ func BenchmarkFig7Partition(b *testing.B) { runFigure(b, "fig7") }
 // BenchmarkFig8aJoinStrategies regenerates Fig 8a: interdomain join
 // overhead by strategy.
 func BenchmarkFig8aJoinStrategies(b *testing.B) { runFigure(b, "fig8a") }
+
+// BenchmarkFig8aJoinStrategiesSerial is the Workers=1 baseline for
+// BenchmarkFig8aJoinStrategies.
+func BenchmarkFig8aJoinStrategiesSerial(b *testing.B) { runFigureWorkers(b, "fig8a", 1) }
 
 // BenchmarkFig8bStretch regenerates Fig 8b: interdomain stretch by
 // finger budget against the BGP baseline.

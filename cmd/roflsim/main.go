@@ -8,8 +8,10 @@
 //	roflsim -all -quick           # run everything at smoke-test scale
 //	roflsim -fig fig8b -csv       # emit CSV instead of an aligned table
 //
-// Scale knobs (-hosts, -pairs, -interhosts, -seed) override the chosen
-// preset.
+// Scale knobs (-hosts, -pairs, -interhosts, -seed, -workers) override
+// the chosen preset. -workers 1 reproduces the serial run exactly; any
+// worker count produces identical tables (trials derive their seeds
+// from the trial index, not from execution order).
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 		pairs      = flag.Int("pairs", 0, "override data-plane probe pairs")
 		interhosts = flag.Int("interhosts", 0, "override interdomain hosts")
 		seed       = flag.Int64("seed", 0, "override RNG seed")
+		workers    = flag.Int("workers", 0, "trial workers per experiment (0 = NumCPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 
 	var runners []rofl.Experiment

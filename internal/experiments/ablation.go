@@ -19,6 +19,10 @@ import (
 //     data snooping;
 //   - proximity fingers vs random fingers (interdomain);
 //   - directed teardown floods vs whole-network floods on host failure.
+//
+// Each knob's arms run as parallel trials; arms of the same knob share
+// that knob's trial-group seed (groups 0-3 in the order above) so every
+// comparison stays paired.
 func Ablations(cfg Config) Table {
 	t := Table{
 		ID:      "ablation",
@@ -37,18 +41,21 @@ func ablSuccessorGroup(cfg Config, t *Table) {
 	if ic.Hosts > cfg.HostsPerISP {
 		ic.Hosts = cfg.HostsPerISP
 	}
-	for _, group := range []int{1, 2, 4, 8} {
+	groups := []int{1, 2, 4, 8}
+	joinAvgs := make([]float64, len(groups))
+	repairs := make([]float64, len(groups))
+	forTrials(cfg, len(groups), func(trial int) {
 		isp := topology.GenISP(ic)
 		m := sim.NewMetrics()
 		opts := vring.DefaultOptions()
-		opts.SuccessorGroup = group
+		opts.SuccessorGroup = groups[trial]
 		n := vring.New(isp.Graph, m, opts)
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 0)))
 		ids, err := joinHosts(n, isp, ic.Hosts, rng)
 		if err != nil {
 			panic(err)
 		}
-		joinAvg := avg(m.Samples(vring.SampleJoinMsgs))
+		joinAvgs[trial] = avg(m.Samples(vring.SampleJoinMsgs))
 		// Fail a batch of hosts; with a larger group more repairs resolve
 		// by shift-down instead of rejoin probes.
 		before := m.Counter(vring.MsgTeardown) + m.Counter(vring.MsgRepair)
@@ -59,8 +66,11 @@ func ablSuccessorGroup(cfg Config, t *Table) {
 			}
 		}
 		repair := m.Counter(vring.MsgTeardown) + m.Counter(vring.MsgRepair) - before
-		t.AddRow("succ-group", group, "join-msgs-avg", joinAvg)
-		t.AddRow("succ-group", group, "fail-repair-msgs/host", float64(repair)/float64(fails))
+		repairs[trial] = float64(repair) / float64(fails)
+	})
+	for i, group := range groups {
+		t.AddRow("succ-group", group, "join-msgs-avg", joinAvgs[i])
+		t.AddRow("succ-group", group, "fail-repair-msgs/host", repairs[i])
 	}
 }
 
@@ -73,18 +83,21 @@ func ablCachePolicy(cfg Config, t *Table) {
 		name           string
 		control, snoop bool
 	}
-	for _, s := range []setting{
+	settings := []setting{
 		{"off", false, false},
 		{"control-only", true, false}, // the paper's configuration
 		{"control+snoop", true, true},
-	} {
+	}
+	stretch := make([]float64, len(settings))
+	forTrials(cfg, len(settings), func(trial int) {
+		s := settings[trial]
 		isp := topology.GenISP(ic)
 		m := sim.NewMetrics()
 		opts := vring.DefaultOptions()
 		opts.CacheControl = s.control
 		opts.SnoopData = s.snoop
 		n := vring.New(isp.Graph, m, opts)
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 1)))
 		ids, err := joinHosts(n, isp, ic.Hosts, rng)
 		if err != nil {
 			panic(err)
@@ -94,7 +107,7 @@ func ablCachePolicy(cfg Config, t *Table) {
 		count := 0
 		// Two passes so snooped entries pay off on the repeat traffic.
 		for pass := 0; pass < 2; pass++ {
-			r2 := rand.New(rand.NewSource(cfg.Seed + 7))
+			r2 := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 1) + 7))
 			total, count = 0, 0
 			for p := 0; p < cfg.Pairs/2; p++ {
 				res, err := n.Route(picker.pick(r2), ids[r2.Intn(len(ids))])
@@ -105,23 +118,28 @@ func ablCachePolicy(cfg Config, t *Table) {
 				count++
 			}
 		}
-		t.AddRow("cache-fill", s.name, "stretch-mean", total/float64(count))
+		stretch[trial] = total / float64(count)
+	})
+	for i, s := range settings {
+		t.AddRow("cache-fill", s.name, "stretch-mean", stretch[i])
 	}
 }
 
 func ablFingerSelection(cfg Config, t *Table) {
-	for _, random := range []bool{false, true} {
+	stretch := make([]float64, 2)
+	forTrials(cfg, 2, func(trial int) {
+		random := trial == 1
 		g := genASGraph(cfg)
 		opts := canon.DefaultOptions()
 		opts.FingerBudget = 160
 		opts.RandomFingers = random
 		in := canon.New(g, sim.NewMetrics(), opts)
-		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, cfg.Seed, fmt.Sprintf("abl-f-%v", random))
+		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, sim.TrialSeed(cfg.Seed, 2), fmt.Sprintf("abl-f-%v", random))
 		if err != nil {
 			panic(err)
 		}
 		bgp := bgppolicy.New(g)
-		rng := rand.New(rand.NewSource(cfg.Seed + 8))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 2) + 8))
 		var sum float64
 		var count int
 		for p := 0; p < cfg.Pairs; p++ {
@@ -142,12 +160,10 @@ func ablFingerSelection(cfg Config, t *Table) {
 			sum += float64(res.ASHops) / float64(base)
 			count++
 		}
-		name := "proximity"
-		if random {
-			name = "random"
-		}
-		t.AddRow("finger-selection", name, "stretch-mean@160f", sum/float64(count))
-	}
+		stretch[trial] = sum / float64(count)
+	})
+	t.AddRow("finger-selection", "proximity", "stretch-mean@160f", stretch[0])
+	t.AddRow("finger-selection", "random", "stretch-mean@160f", stretch[1])
 }
 
 func ablDirectedFlood(cfg Config, t *Table) {
@@ -158,7 +174,7 @@ func ablDirectedFlood(cfg Config, t *Table) {
 	isp := topology.GenISP(ic)
 	m := sim.NewMetrics()
 	n := vring.New(isp.Graph, m, vring.DefaultOptions())
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 3)))
 	ids, err := joinHosts(n, isp, ic.Hosts, rng)
 	if err != nil {
 		panic(err)

@@ -17,6 +17,10 @@ import (
 // cost less than stable joins. The driver runs a sustained churn
 // workload (joins, graceful leaves, crashes, moves, ephemeral joins) and
 // reports per-event control costs side by side.
+//
+// The whole point is one network mutating through an interleaved event
+// sequence, so this driver is inherently a single sequential trial and
+// runs identically at any Workers setting.
 func Churn(cfg Config) Table {
 	t := Table{
 		ID:      "churn",
@@ -30,7 +34,7 @@ func Churn(cfg Config) Table {
 	isp := topology.GenISP(ic)
 	m := sim.NewMetrics()
 	n := vring.New(isp.Graph, m, vring.DefaultOptions())
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 0)))
 
 	// Baseline population.
 	ids, err := joinHosts(n, isp, ic.Hosts, rng)
@@ -125,8 +129,14 @@ func MsgSizes(cfg Config) Table {
 		Title:   "Join-message sizes vs finger count (wire format)",
 		Columns: []string{"fingers", "bytes", "mtu-1500-fragments"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, fingers := range []int{0, 60, 128, 160, 256, 340} {
+	counts := []int{0, 60, 128, 160, 256, 340}
+	// One trial per finger count; each builds and marshals its own join
+	// reply from its trial-derived RNG.
+	type msgRow struct{ bytes, frags int }
+	results := make([]msgRow, len(counts))
+	forTrials(cfg, len(counts), func(trial int) {
+		fingers := counts[trial]
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, trial)))
 		// A finger-carrying join reply: header + one (ID, AS) entry per
 		// finger in the payload (16 + 4 bytes each, the same density the
 		// paper's 1638-byte figure implies for 256 entries).
@@ -145,8 +155,10 @@ func MsgSizes(cfg Config) Table {
 		if err != nil {
 			panic(err)
 		}
-		frags := (len(buf) + 1499) / 1500
-		t.AddRow(fingers, len(buf), frags)
+		results[trial] = msgRow{bytes: len(buf), frags: (len(buf) + 1499) / 1500}
+	})
+	for i, fingers := range counts {
+		t.AddRow(fingers, results[i].bytes, results[i].frags)
 	}
 	t.Note("the paper reports 1638 bytes at 256 fingers (≈6 B/finger, a compressed encoding); this wire format carries full 128-bit IDs plus hosting ASes at 20 B/finger — same order, same conclusion: finger-heavy joins fragment past one MTU")
 	return t

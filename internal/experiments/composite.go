@@ -16,6 +16,10 @@ import (
 // border-router relays, and the Canon hierarchy, reporting the per-layer
 // cost split for joins and routes and the isolation corollary ("traffic
 // internal to an AS stays internal", §2.3) measured directly.
+//
+// Joins and probe routes all mutate the one assembled two-level system
+// (its rings and caches), so this driver is a single sequential trial
+// and runs identically at any Workers setting.
 func Composite(cfg Config) Table {
 	t := Table{
 		ID:      "composite",

@@ -14,7 +14,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+
+	"rofl/internal/sim"
 )
 
 // Config scales every driver. The zero value is unusable; start from
@@ -27,8 +30,33 @@ type Config struct {
 	Pairs int
 	// InterHosts is the interdomain workload size.
 	InterHosts int
-	// Seed feeds all deterministic RNGs.
+	// Seed feeds all deterministic RNGs. Multi-trial drivers derive one
+	// seed per independent trial from it (sim.TrialSeed), so every table
+	// is a pure function of the config regardless of Workers.
 	Seed int64
+	// Workers bounds how many goroutines a driver fans its independent
+	// trials (per-topology runs, parameter-sweep points, baseline arms)
+	// across. 0 means runtime.NumCPU(); 1 runs every trial serially on
+	// the calling goroutine, reproducing single-threaded execution bit
+	// for bit. Results are identical at any value — only wall-clock time
+	// changes.
+	Workers int
+}
+
+// WorkerCount resolves the Workers knob: 0 defaults to runtime.NumCPU().
+func (c Config) WorkerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// forTrials fans n independent trials across the configured worker pool.
+// Each trial must derive its randomness from sim.TrialSeed(cfg.Seed, i)
+// (or the trial index of its comparison group, when arms share a
+// workload) and write results into its own index-addressed slot.
+func forTrials(cfg Config, n int, fn func(trial int)) {
+	sim.ForEach(cfg.WorkerCount(), n, fn)
 }
 
 // DefaultConfig sizes the full evaluation (~minutes).

@@ -46,6 +46,34 @@ func TestAllRunnersProduceTables(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance is the tentpole determinism guarantee:
+// every registered experiment must emit a byte-identical table whether
+// its trials run serially or fan out across a pool. Trial seeds derive
+// from the trial index (sim.TrialSeed), results land in index-addressed
+// slots, and merged sinks are folded in trial order, so worker count
+// and scheduling must be unobservable in the output.
+func TestWorkerCountInvariance(t *testing.T) {
+	base := QuickConfig()
+	base.HostsPerISP = 60
+	base.Pairs = 60
+	base.InterHosts = 120
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			serial := base
+			serial.Workers = 1
+			pooled := base
+			pooled.Workers = 8
+			want := r.Run(serial).String()
+			got := r.Run(pooled).String()
+			if got != want {
+				t.Fatalf("table differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- 8 workers ---\n%s", want, got)
+			}
+		})
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, ok := ByID("fig5a"); !ok {
 		t.Fatal("fig5a must exist")

@@ -23,9 +23,17 @@ func Extensions(cfg Config) Table {
 		Title:   "§5 extensions: anycast, multicast, path negotiation",
 		Columns: []string{"mechanism", "metric", "value"},
 	}
-	extAnycast(cfg, &t)
-	extMulticast(cfg, &t)
-	extNegotiation(cfg, &t)
+	// The three mechanisms are independent trials (each builds its own
+	// network); their sub-tables assemble in mechanism order.
+	subs := []func(Config, *Table){extAnycast, extMulticast, extNegotiation}
+	parts := make([]Table, len(subs))
+	forTrials(cfg, len(subs), func(trial int) {
+		subs[trial](cfg, &parts[trial])
+	})
+	for _, p := range parts {
+		t.Rows = append(t.Rows, p.Rows...)
+		t.Notes = append(t.Notes, p.Notes...)
+	}
 	return t
 }
 
@@ -37,7 +45,7 @@ func extAnycast(cfg Config, t *Table) {
 	isp := topology.GenISP(ic)
 	m := sim.NewMetrics()
 	n := vring.New(isp.Graph, m, vring.DefaultOptions())
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 0)))
 	if _, err := joinHosts(n, isp, ic.Hosts/2, rng); err != nil {
 		panic(err)
 	}
@@ -88,7 +96,7 @@ func extMulticast(cfg Config, t *Table) {
 	isp := topology.GenISP(ic)
 	m := sim.NewMetrics()
 	n := vring.New(isp.Graph, m, vring.DefaultOptions())
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 1)))
 	if _, err := joinHosts(n, isp, ic.Hosts/2, rng); err != nil {
 		panic(err)
 	}
@@ -122,11 +130,11 @@ func extMulticast(cfg Config, t *Table) {
 func extNegotiation(cfg Config, t *Table) {
 	g := genASGraph(cfg)
 	in := canon.New(g, sim.NewMetrics(), canon.DefaultOptions())
-	ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, cfg.Seed, "ext-neg")
+	ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, sim.TrialSeed(cfg.Seed, 2), "ext-neg")
 	if err != nil {
 		panic(err)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 9))
+	rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 2) + 9))
 	var firstHops, nextHops, setSize float64
 	var count int
 	for i := 0; i < cfg.Pairs/4; i++ {

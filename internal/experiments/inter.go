@@ -68,11 +68,15 @@ func Fig8a(cfg Config) Table {
 	}
 	points := sweepPoints(cfg.InterHosts / 4)
 	strategies := []canon.Strategy{canon.Ephemeral, canon.SingleHomed, canon.Multihomed, canon.Peering}
-	series := make(map[canon.Strategy][]float64)
-	for _, s := range strategies {
+	// One trial per strategy. All four arms share trial group 0's
+	// derived seed so every strategy races over the identical workload
+	// (same AS placement sequence), keeping the comparison paired.
+	series := make([][]float64, len(strategies))
+	forTrials(cfg, len(strategies), func(trial int) {
+		s := strategies[trial]
 		g := genASGraph(cfg)
 		in := canon.New(g, sim.NewMetrics(), canon.DefaultOptions())
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 0)))
 		pool := hostASes(g)
 		var window []float64
 		joined := 0
@@ -93,21 +97,18 @@ func Fig8a(cfg Config) Table {
 			for _, v := range window {
 				sum += v
 			}
-			series[s] = append(series[s], sum/float64(len(window)))
+			series[trial] = append(series[trial], sum/float64(len(window)))
 		}
 		if err := in.CheckRings(); err != nil {
 			panic(err)
 		}
-	}
+	})
 	for i, p := range points {
-		t.AddRow(p,
-			series[canon.Ephemeral][i], series[canon.SingleHomed][i],
-			series[canon.Multihomed][i], series[canon.Peering][i])
+		t.AddRow(p, series[0][i], series[1][i], series[2][i], series[3][i])
 	}
 	last := len(points) - 1
 	t.Note("final averages: eph %.0f / single %.0f / multi %.0f / peering %.0f (paper extrapolation: ~14 / ~80 / ~100 / ~300+)",
-		series[canon.Ephemeral][last], series[canon.SingleHomed][last],
-		series[canon.Multihomed][last], series[canon.Peering][last])
+		series[0][last], series[1][last], series[2][last], series[3][last])
 	return t
 }
 
@@ -148,20 +149,25 @@ func Fig8b(cfg Config) Table {
 		Columns: []string{"percentile", "rofl-0f", "rofl-60f", "rofl-160f", "rofl-280f", "bgp-policy"},
 	}
 	budgets := []int{0, 60, 160, 280}
-	samples := make(map[string][]float64)
 	order := []string{"rofl-0f", "rofl-60f", "rofl-160f", "rofl-280f", "bgp-policy"}
-	var means []float64
-	for bi, budget := range budgets {
+	// One trial per finger budget, all arms on trial group 0's workload.
+	// Each trial samples its stretch series into a private Metrics sink
+	// under its own series name; the sinks merge in budget order below.
+	sinks := make([]sim.Metrics, len(budgets))
+	means := make([]float64, len(budgets))
+	forTrials(cfg, len(budgets), func(bi int) {
+		budget := budgets[bi]
 		g := genASGraph(cfg)
 		opts := canon.DefaultOptions()
 		opts.FingerBudget = budget
 		in := canon.New(g, sim.NewMetrics(), opts)
-		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, cfg.Seed, fmt.Sprintf("f8b-%d", budget))
+		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, sim.TrialSeed(cfg.Seed, 0), fmt.Sprintf("f8b-%d", budget))
 		if err != nil {
 			panic(err)
 		}
 		bgp := bgppolicy.New(g)
-		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 0) + 1))
+		sink := sim.NewMetrics()
 		name := order[bi]
 		var total float64
 		var count int
@@ -181,18 +187,27 @@ func Fig8b(cfg Config) Table {
 				continue
 			}
 			s := float64(res.ASHops) / float64(base)
-			samples[name] = append(samples[name], s)
+			sink.Sample(name, s)
 			total += s
 			count++
 			if bi == 0 {
 				// BGP-policy curve measured once.
 				free := shortestASHops(g, srcAS, dstAS)
 				if free > 0 {
-					samples["bgp-policy"] = append(samples["bgp-policy"], float64(base)/float64(free))
+					sink.Sample("bgp-policy", float64(base)/float64(free))
 				}
 			}
 		}
-		means = append(means, total/float64(count))
+		means[bi] = total / float64(count)
+		sinks[bi] = sink
+	})
+	merged := sim.NewMetrics()
+	for _, s := range sinks {
+		merged.Merge(s)
+	}
+	samples := make(map[string][]float64)
+	for _, name := range order {
+		samples[name] = merged.Samples(name)
 	}
 	cdfRows(&t, samples, order)
 	t.Note("mean ROFL stretch: %.2f (0 fingers) → %.2f (60) → %.2f (160) → %.2f (280); paper: 2.8 @60 → 2.3 @160",
@@ -210,14 +225,20 @@ func Fig8c(cfg Config) Table {
 		Columns: []string{"cache-entries", "mean-stretch", "p90-stretch", "total-cached"},
 	}
 	sizes := []int{0, 200, 1000, 5000}
-	var first, last float64
-	for _, sz := range sizes {
+	// One trial per cache size, all arms on trial group 0's workload.
+	type f8cRow struct {
+		mean, p90 float64
+		cached    int
+	}
+	results := make([]f8cRow, len(sizes))
+	forTrials(cfg, len(sizes), func(trial int) {
+		sz := sizes[trial]
 		g := genASGraph(cfg)
 		opts := canon.DefaultOptions()
 		opts.CacheCapacity = sz
 		opts.FingerBudget = 60
 		in := canon.New(g, sim.NewMetrics(), opts)
-		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, cfg.Seed, fmt.Sprintf("f8c-%d", sz))
+		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Multihomed, sim.TrialSeed(cfg.Seed, 0), fmt.Sprintf("f8c-%d", sz))
 		if err != nil {
 			panic(err)
 		}
@@ -226,7 +247,7 @@ func Fig8c(cfg Config) Table {
 		// Two passes over the same pair sequence: the second hits warm
 		// caches (the paper's caches hold "frequently accessed routes").
 		for pass := 0; pass < 2; pass++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + 2))
+			rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 0) + 2))
 			vals = vals[:0]
 			for p := 0; p < cfg.Pairs; p++ {
 				src, dst := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
@@ -250,17 +271,16 @@ func Fig8c(cfg Config) Table {
 		for _, v := range vals {
 			sum += v
 		}
-		mean := sum / float64(len(vals))
 		cached := 0
 		for a := 0; a < g.NumASes(); a++ {
 			cached += in.AS(topology.ASN(a)).Cache.Len()
 		}
-		t.AddRow(sz, mean, quantileOf(vals, 0.9), cached)
-		if sz == sizes[0] {
-			first = mean
-		}
-		last = mean
+		results[trial] = f8cRow{mean: sum / float64(len(vals)), p90: quantileOf(vals, 0.9), cached: cached}
+	})
+	for i, sz := range sizes {
+		t.AddRow(sz, results[i].mean, results[i].p90, results[i].cached)
 	}
+	first, last := results[0].mean, results[len(sizes)-1].mean
 	t.Note("caching pulls mean stretch %.2f → %.2f (paper: 2 → 1.33 with 20M entries/AS)", first, last)
 	return t
 }
@@ -269,6 +289,11 @@ func Fig8c(cfg Config) Table {
 // ASes; measure the fraction of paths affected (paper: 99.998%%
 // unaffected) and the repair cost (paper: ≈ the number of identifiers
 // the stub hosted).
+//
+// The five failure trials accumulate on one shared Internet (each
+// trial's population is what the previous failures left alive), so this
+// driver is inherently sequential and runs as a single trial at any
+// Workers setting.
 func StubFail(cfg Config) Table {
 	t := Table{
 		ID:      "stubfail",
@@ -355,13 +380,23 @@ func BloomPeering(cfg Config) Table {
 		Title:   "Peering via virtual ASes vs Bloom filters",
 		Columns: []string{"mechanism", "avg-join-msgs", "bloom-bits/AS", "mean-stretch", "backtracks/1k-routes"},
 	}
-	for _, bloom := range []bool{false, true} {
+	// One trial per peering mechanism, both on the same derived workload.
+	type bpRow struct {
+		name       string
+		joinAvg    float64
+		bloomBits  int64
+		stretch    float64
+		backtracks float64
+	}
+	results := make([]bpRow, 2)
+	forTrials(cfg, 2, func(trial int) {
+		bloom := trial == 1
 		g := genASGraph(cfg)
 		opts := canon.DefaultOptions()
 		opts.BloomPeering = bloom
 		opts.FingerBudget = 60
 		in := canon.New(g, sim.NewMetrics(), opts)
-		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Peering, cfg.Seed, fmt.Sprintf("bp-%v", bloom))
+		ids, err := joinInter(in, g, cfg.InterHosts/4, canon.Peering, sim.TrialSeed(cfg.Seed, 0), fmt.Sprintf("bp-%v", bloom))
 		if err != nil {
 			panic(err)
 		}
@@ -372,7 +407,7 @@ func BloomPeering(cfg Config) Table {
 		joinAvg /= float64(len(in.Metrics.Samples(canon.SampleJoinMsgs)))
 
 		bgp := bgppolicy.New(g)
-		rng := rand.New(rand.NewSource(cfg.Seed + 4))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, 0) + 4))
 		var stretchSum float64
 		var count int
 		for p := 0; p < cfg.Pairs; p++ {
@@ -402,12 +437,20 @@ func BloomPeering(cfg Config) Table {
 			}
 			bloomBits /= int64(g.NumASes())
 		}
-		backtracks := float64(in.Metrics.Counter(canon.CtrBloomBacktracks)) / float64(count) * 1000
 		name := "virtual-AS"
 		if bloom {
 			name = "bloom-filter"
 		}
-		t.AddRow(name, joinAvg, bloomBits, stretchSum/float64(count), fmt.Sprintf("%.1f", backtracks))
+		results[trial] = bpRow{
+			name:       name,
+			joinAvg:    joinAvg,
+			bloomBits:  bloomBits,
+			stretch:    stretchSum / float64(count),
+			backtracks: float64(in.Metrics.Counter(canon.CtrBloomBacktracks)) / float64(count) * 1000,
+		}
+	})
+	for _, r := range results {
+		t.AddRow(r.name, r.joinAvg, r.bloomBits, r.stretch, fmt.Sprintf("%.1f", r.backtracks))
 	}
 	t.Note("blooms cut peering join cost to ~multihomed level at the price of per-AS filter state and occasional backtracks (paper §6.4)")
 	return t

@@ -105,35 +105,54 @@ func Fig5a(cfg Config) Table {
 		t.Columns = append(t.Columns, ic.Name+"-rofl", ic.Name+"-ether")
 	}
 	points := sweepPoints(cfg.HostsPerISP)
-	cells := make(map[int][]string, len(points))
-	for _, p := range points {
-		cells[p] = []string{fmt.Sprint(p)}
-	}
-	var minRatio, maxRatio float64
-	for _, ic := range isps {
+	// Trial 2i joins the ROFL ring of ISP i, trial 2i+1 the CMU-ETHERNET
+	// baseline on the same topology. Both arms derive their RNG from the
+	// ISP's trial index, so the paired comparison sees identical host
+	// placements no matter which worker runs which arm.
+	counts := make([][]int64, 2*len(isps))
+	forTrials(cfg, 2*len(isps), func(trial int) {
+		ic := isps[trial/2]
 		isp := topology.GenISP(ic)
-		m := sim.NewMetrics()
-		n := vring.New(isp.Graph, m, vring.DefaultOptions())
-		em := sim.NewMetrics()
-		ether := flatether.New(isp.Graph, em)
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, trial/2)))
 		picker := newHostPicker(isp)
+		m := sim.NewMetrics()
+		var join func(ident.ID, topology.NodeID) error
+		counter := vring.MsgJoin
+		if trial%2 == 1 {
+			ether := flatether.New(isp.Graph, m)
+			join = func(id ident.ID, at topology.NodeID) error {
+				_, err := ether.JoinHost(id, at)
+				return err
+			}
+			counter = flatether.MsgJoin
+		} else {
+			n := vring.New(isp.Graph, m, vring.DefaultOptions())
+			join = func(id ident.ID, at topology.NodeID) error {
+				_, err := n.JoinHost(id, at)
+				return err
+			}
+		}
 		joined := 0
+		out := make([]int64, 0, len(points))
 		for _, p := range points {
 			for joined < p {
 				id := ident.FromString(fmt.Sprintf("%s-h%d", ic.Name, joined))
-				at := picker.pick(rng)
-				if _, err := n.JoinHost(id, at); err != nil {
-					panic(err)
-				}
-				if _, err := ether.JoinHost(id, at); err != nil {
+				if err := join(id, picker.pick(rng)); err != nil {
 					panic(err)
 				}
 				joined++
 			}
-			rofl := m.Counter(vring.MsgJoin)
-			eth := em.Counter(flatether.MsgJoin)
-			cells[p] = append(cells[p], fmt.Sprint(rofl), fmt.Sprint(eth))
+			out = append(out, m.Counter(counter))
+		}
+		counts[trial] = out
+	})
+	var minRatio, maxRatio float64
+	for i, p := range points {
+		row := []string{fmt.Sprint(p)}
+		for ispIdx := range isps {
+			rofl := counts[2*ispIdx][i]
+			eth := counts[2*ispIdx+1][i]
+			row = append(row, fmt.Sprint(rofl), fmt.Sprint(eth))
 			ratio := float64(eth) / float64(rofl)
 			if minRatio == 0 || ratio < minRatio {
 				minRatio = ratio
@@ -142,9 +161,7 @@ func Fig5a(cfg Config) Table {
 				maxRatio = ratio
 			}
 		}
-	}
-	for _, p := range points {
-		t.Rows = append(t.Rows, cells[p])
+		t.Rows = append(t.Rows, row)
 	}
 	t.Note("CMU-ETHERNET/ROFL join-message ratio spans %.0fx–%.0fx (paper: 37x–181x)", minRatio, maxRatio)
 	return t
@@ -170,21 +187,41 @@ func quantileOf(vs []float64, q float64) float64 {
 	return sim.Quantile(s, q)
 }
 
-// runJoinSamples joins the workload on each ISP and returns the per-join
-// message and latency samples.
+// runJoinSamples joins the workload on each ISP in parallel and returns
+// the per-join message and latency samples. Each trial records into its
+// own Metrics sink, re-keyed by ISP name; the sinks are folded together
+// with Metrics.Merge in trial order, so the result is independent of the
+// worker count.
 func runJoinSamples(cfg Config) (msgs, lat map[string][]float64, order []string) {
-	msgs = map[string][]float64{}
-	lat = map[string][]float64{}
-	for _, ic := range evalISPs(cfg) {
+	isps := evalISPs(cfg)
+	sinks := make([]sim.Metrics, len(isps))
+	forTrials(cfg, len(isps), func(i int) {
+		ic := isps[i]
 		isp := topology.GenISP(ic)
 		m := sim.NewMetrics()
 		n := vring.New(isp.Graph, m, vring.DefaultOptions())
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, i)))
 		if _, err := joinHosts(n, isp, ic.Hosts, rng); err != nil {
 			panic(err)
 		}
-		msgs[ic.Name] = append([]float64(nil), m.Samples(vring.SampleJoinMsgs)...)
-		lat[ic.Name] = append([]float64(nil), m.Samples(vring.SampleJoinLatency)...)
+		sink := sim.NewMetrics()
+		for _, v := range m.Samples(vring.SampleJoinMsgs) {
+			sink.Sample(ic.Name+"/join-msgs", v)
+		}
+		for _, v := range m.Samples(vring.SampleJoinLatency) {
+			sink.Sample(ic.Name+"/join-latency", v)
+		}
+		sinks[i] = sink
+	})
+	merged := sim.NewMetrics()
+	for _, s := range sinks {
+		merged.Merge(s)
+	}
+	msgs = map[string][]float64{}
+	lat = map[string][]float64{}
+	for _, ic := range isps {
+		msgs[ic.Name] = merged.Samples(ic.Name + "/join-msgs")
+		lat[ic.Name] = merged.Samples(ic.Name + "/join-latency")
 		order = append(order, ic.Name)
 	}
 	return msgs, lat, order
@@ -249,44 +286,43 @@ func Fig6a(cfg Config) Table {
 		t.Columns = append(t.Columns, ic.Name)
 	}
 	sizes := []int{0, 10, 100, 1000, 10000, 70000}
+	// One trial per (ISP, cache size); all sizes of an ISP share the
+	// ISP's derived seed so the sweep varies only the cache.
+	stretch := make([]float64, len(isps)*len(sizes))
+	forTrials(cfg, len(stretch), func(trial int) {
+		ic := isps[trial/len(sizes)]
+		sz := sizes[trial%len(sizes)]
+		isp := topology.GenISP(ic)
+		m := sim.NewMetrics()
+		opts := vring.DefaultOptions()
+		opts.CacheCapacity = sz
+		n := vring.New(isp.Graph, m, opts)
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, trial/len(sizes))))
+		ids, err := joinHosts(n, isp, ic.Hosts, rng)
+		if err != nil {
+			panic(err)
+		}
+		picker := newHostPicker(isp)
+		var total float64
+		count := 0
+		for p := 0; p < cfg.Pairs; p++ {
+			res, err := n.Route(picker.pick(rng), ids[rng.Intn(len(ids))])
+			if err != nil {
+				continue
+			}
+			total += res.Stretch
+			count++
+		}
+		stretch[trial] = total / float64(count)
+	})
 	rows := make([][]string, len(sizes))
 	for i, sz := range sizes {
 		rows[i] = []string{fmt.Sprint(sz)}
-	}
-	var first, last float64
-	for _, ic := range isps {
-		for i, sz := range sizes {
-			isp := topology.GenISP(ic)
-			m := sim.NewMetrics()
-			opts := vring.DefaultOptions()
-			opts.CacheCapacity = sz
-			n := vring.New(isp.Graph, m, opts)
-			rng := rand.New(rand.NewSource(cfg.Seed))
-			ids, err := joinHosts(n, isp, ic.Hosts, rng)
-			if err != nil {
-				panic(err)
-			}
-			picker := newHostPicker(isp)
-			var total float64
-			count := 0
-			for p := 0; p < cfg.Pairs; p++ {
-				res, err := n.Route(picker.pick(rng), ids[rng.Intn(len(ids))])
-				if err != nil {
-					continue
-				}
-				total += res.Stretch
-				count++
-			}
-			avg := total / float64(count)
-			rows[i] = append(rows[i], fmt.Sprintf("%.2f", avg))
-			if ic.Name == isps[0].Name {
-				if i == 0 {
-					first = avg
-				}
-				last = avg
-			}
+		for ispIdx := range isps {
+			rows[i] = append(rows[i], fmt.Sprintf("%.2f", stretch[ispIdx*len(sizes)+i]))
 		}
 	}
+	first, last := stretch[0], stretch[len(sizes)-1]
 	t.Rows = rows
 	t.Note("%s stretch falls from %.2f (no cache) to %.2f (70k entries); paper: high → ~2", isps[0].Name, first, last)
 	return t
@@ -295,6 +331,10 @@ func Fig6a(cfg Config) Table {
 // Fig6b reproduces the load-balance comparison: fraction of data
 // messages traversing each router, ranked by OSPF load, for ROFL and
 // OSPF. The paper finds "the difference from OSPF is fairly slight."
+//
+// This driver is a single trial — every probe pair mutates the same
+// network's caches and traversal counters — so it runs serially at any
+// Workers setting.
 func Fig6b(cfg Config) Table {
 	t := Table{
 		ID:      "fig6b",
@@ -370,19 +410,21 @@ func Fig6c(cfg Config) Table {
 	}
 	t.Columns = append(t.Columns, "ether")
 	points := sweepPoints(cfg.HostsPerISP)
-	rows := make([][]string, len(points))
-	for i, p := range points {
-		rows[i] = []string{fmt.Sprint(p)}
+	// One trial per ISP, each sweeping its own join sequence.
+	type memSeries struct {
+		ring, total []float64
 	}
-	var minRatio, maxRatio float64
-	for _, ic := range isps {
+	series := make([]memSeries, len(isps))
+	forTrials(cfg, len(isps), func(trial int) {
+		ic := isps[trial]
 		isp := topology.GenISP(ic)
 		m := sim.NewMetrics()
 		n := vring.New(isp.Graph, m, vring.DefaultOptions())
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, trial)))
 		picker := newHostPicker(isp)
 		joined := 0
-		for i, p := range points {
+		var s memSeries
+		for _, p := range points {
 			for joined < p {
 				id := ident.FromString(fmt.Sprintf("%s-h%d", ic.Name, joined))
 				if _, err := n.JoinHost(id, picker.pick(rng)); err != nil {
@@ -396,8 +438,18 @@ func Fig6c(cfg Config) Table {
 				cache += r.Cache.Len()
 			}
 			nr := float64(len(n.Routers))
-			ring := float64(total-cache) / nr
-			rows[i] = append(rows[i], fmt.Sprintf("%.1f", ring), fmt.Sprintf("%.1f", float64(total)/nr))
+			s.ring = append(s.ring, float64(total-cache)/nr)
+			s.total = append(s.total, float64(total)/nr)
+		}
+		series[trial] = s
+	})
+	var minRatio, maxRatio float64
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{fmt.Sprint(p)}
+		for ispIdx := range isps {
+			ring := series[ispIdx].ring[i]
+			rows[i] = append(rows[i], fmt.Sprintf("%.1f", ring), fmt.Sprintf("%.1f", series[ispIdx].total[i]))
 			// The paper's 34x-1200x ratios are taken where hosts dominate
 			// router bootstrap state; compare at the final sweep point.
 			if i == len(points)-1 && ring > 0 {
@@ -410,8 +462,6 @@ func Fig6c(cfg Config) Table {
 				}
 			}
 		}
-	}
-	for i, p := range points {
 		rows[i] = append(rows[i], fmt.Sprint(p)) // ether: one entry per host per router
 	}
 	t.Rows = rows
@@ -435,46 +485,49 @@ func Fig7(cfg Config) Table {
 		t.Columns = append(t.Columns, ic.Name)
 	}
 	perPoP := []int{1, 5, 25}
+	// One trial per (ISP, IDs-per-PoP) point; each partitions and heals
+	// its own private network.
+	repairs := make([]int64, len(isps)*len(perPoP))
+	forTrials(cfg, len(repairs), func(trial int) {
+		ic := isps[trial/len(perPoP)]
+		ids := perPoP[trial%len(perPoP)]
+		isp := topology.GenISP(ic)
+		m := sim.NewMetrics()
+		n := vring.New(isp.Graph, m, vring.DefaultOptions())
+		rng := rand.New(rand.NewSource(sim.TrialSeed(cfg.Seed, trial)))
+		// ids hosts per PoP, spread evenly.
+		members := isp.Graph.PoPMembers()
+		for pop := 0; pop < ic.PoPs; pop++ {
+			nodes := members[pop]
+			for k := 0; k < ids; k++ {
+				id := ident.FromString(fmt.Sprintf("%s-p%d-%d", ic.Name, pop, k))
+				at := nodes[k%len(nodes)]
+				if _, err := n.JoinHost(id, at); err != nil {
+					panic(err)
+				}
+			}
+		}
+		pop := rng.Intn(ic.PoPs)
+		before := m.Counter(vring.MsgRepair)
+		cut := n.PartitionPoP(pop)
+		n.RepairPartitions()
+		if err := n.CheckRing(); err != nil {
+			panic(fmt.Sprintf("fig7 split check: %v", err))
+		}
+		for _, l := range cut {
+			n.RestoreLink(l[0], l[1])
+		}
+		n.RepairPartitions()
+		if err := n.CheckRing(); err != nil {
+			panic(fmt.Sprintf("fig7 merge check: %v", err))
+		}
+		repairs[trial] = m.Counter(vring.MsgRepair) - before
+	})
 	rows := make([][]string, len(perPoP))
 	for i, p := range perPoP {
 		rows[i] = []string{fmt.Sprint(p)}
-	}
-	for _, ic := range isps {
-		for i, ids := range perPoP {
-			isp := topology.GenISP(ic)
-			m := sim.NewMetrics()
-			n := vring.New(isp.Graph, m, vring.DefaultOptions())
-			rng := rand.New(rand.NewSource(cfg.Seed))
-			// ids hosts per PoP, spread evenly.
-			members := isp.Graph.PoPMembers()
-			count := 0
-			for pop := 0; pop < ic.PoPs; pop++ {
-				nodes := members[pop]
-				for k := 0; k < ids; k++ {
-					id := ident.FromString(fmt.Sprintf("%s-p%d-%d", ic.Name, pop, k))
-					at := nodes[k%len(nodes)]
-					if _, err := n.JoinHost(id, at); err != nil {
-						panic(err)
-					}
-					count++
-				}
-			}
-			pop := rng.Intn(ic.PoPs)
-			before := m.Counter(vring.MsgRepair)
-			cut := n.PartitionPoP(pop)
-			n.RepairPartitions()
-			if err := n.CheckRing(); err != nil {
-				panic(fmt.Sprintf("fig7 split check: %v", err))
-			}
-			for _, l := range cut {
-				n.RestoreLink(l[0], l[1])
-			}
-			n.RepairPartitions()
-			if err := n.CheckRing(); err != nil {
-				panic(fmt.Sprintf("fig7 merge check: %v", err))
-			}
-			repair := m.Counter(vring.MsgRepair) - before
-			rows[i] = append(rows[i], fmt.Sprint(repair))
+		for ispIdx := range isps {
+			rows[i] = append(rows[i], fmt.Sprint(repairs[ispIdx*len(perPoP)+i]))
 		}
 	}
 	t.Rows = rows

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 57
+		var counts [n]int32
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("workers=1 must run in index order, got %v", got)
+		}
+	}
+	ForEach(4, 0, func(i int) { t.Fatal("n=0 must not call fn") })
+}
+
+// The harness contract end to end: per-trial sinks seeded via TrialSeed,
+// folded with Merge in index order, must not depend on the worker count.
+func TestForEachMergeDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) Metrics {
+		const trials = 12
+		sinks := make([]Metrics, trials)
+		ForEach(workers, trials, func(i int) {
+			m := NewMetrics()
+			rng := rand.New(rand.NewSource(TrialSeed(42, i)))
+			for j := 0; j < 50; j++ {
+				m.Count("msgs", int64(rng.Intn(10)))
+				m.Sample("lat", rng.Float64())
+			}
+			sinks[i] = m
+		})
+		merged := NewMetrics()
+		for _, s := range sinks {
+			merged.Merge(s)
+		}
+		return merged
+	}
+	serial, parallel := run(1), run(8)
+	if serial.Counter("msgs") != parallel.Counter("msgs") {
+		t.Fatalf("counters diverge: %d vs %d", serial.Counter("msgs"), parallel.Counter("msgs"))
+	}
+	a, b := serial.Samples("lat"), parallel.Samples("lat")
+	if len(a) != len(b) {
+		t.Fatalf("sample counts diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample order diverges at %d", i)
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic must surface on the caller")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "trial exploded") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	ForEach(4, 16, func(i int) {
+		if i == 7 {
+			panic("trial exploded")
+		}
+	})
+}
+
+func TestTrialSeed(t *testing.T) {
+	if TrialSeed(2006, 0) != 2006_000_000 {
+		t.Fatalf("TrialSeed(2006, 0) = %d", TrialSeed(2006, 0))
+	}
+	if TrialSeed(2006, 3) != 2006_000_003 {
+		t.Fatalf("TrialSeed(2006, 3) = %d", TrialSeed(2006, 3))
+	}
+	if TrialSeed(1, 1) == TrialSeed(1, 2) {
+		t.Fatal("distinct trials must get distinct seeds")
+	}
+}

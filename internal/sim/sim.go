@@ -162,6 +162,34 @@ func (m Metrics) CounterNames() []string {
 	return names
 }
 
+// SampleNames returns the names of all touched sample sets, sorted.
+func (m Metrics) SampleNames() []string {
+	names := make([]string, 0, len(m.samples))
+	for k := range m.samples {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds other into m: counters add, sample sets concatenate in
+// other's recording order. Keys are visited in sorted order, so merging
+// the same set of sinks in the same sequence always produces identical
+// internal state — the contract the parallel experiment harness relies
+// on when it folds per-worker sinks together in trial-index order.
+// Counter totals and sample multisets are independent of the merge
+// order; only the position of samples within a set depends on it, and
+// every consumer (Summarize, Quantile, CDF) sorts first. other is not
+// modified.
+func (m Metrics) Merge(other Metrics) {
+	for _, k := range other.CounterNames() {
+		m.counters[k] += other.counters[k]
+	}
+	for _, k := range other.SampleNames() {
+		m.samples[k] = append(m.samples[k], other.samples[k]...)
+	}
+}
+
 // --- Statistics helpers ---------------------------------------------------
 
 // Summary holds order statistics of a sample set.
@@ -195,7 +223,11 @@ func Summarize(vs []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
-// slice using nearest-rank interpolation.
+// slice, linearly interpolating between the two closest ranks (the R-7
+// estimator most plotting libraries default to): position q*(n-1) is
+// split into an integer rank and a fraction, and the result blends the
+// neighbouring order statistics by that fraction. Exact for the
+// endpoints and for positions that land on a rank.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -217,23 +249,30 @@ func Quantile(sorted []float64, q float64) float64 {
 
 // CDF returns (value, cumulative-fraction) pairs suitable for plotting a
 // CDF like the paper's Figures 5b, 5c and 8b, downsampled to at most
-// points entries.
+// points entries. The last pair is always the maximum observation at
+// rank n, and with points > 1 the first is always the minimum at rank 1,
+// so a downsampled curve spans the full observed range.
 func CDF(vs []float64, points int) [][2]float64 {
 	if len(vs) == 0 || points <= 0 {
 		return nil
 	}
 	s := append([]float64(nil), vs...)
 	sort.Float64s(s)
-	if points > len(s) {
-		points = len(s)
+	n := len(s)
+	if points > n {
+		points = n
+	}
+	if points == 1 {
+		return [][2]float64{{s[n-1], 1}}
 	}
 	out := make([][2]float64, 0, points)
-	for i := 0; i < points; i++ {
-		idx := (i + 1) * len(s) / points
-		if idx > len(s) {
-			idx = len(s)
+	out = append(out, [2]float64{s[0], 1 / float64(n)})
+	for i := 1; i < points; i++ {
+		idx := (i + 1) * n / points
+		if idx > n {
+			idx = n
 		}
-		out = append(out, [2]float64{s[idx-1], float64(idx) / float64(len(s))})
+		out = append(out, [2]float64{s[idx-1], float64(idx) / float64(n)})
 	}
 	return out
 }

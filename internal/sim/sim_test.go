@@ -219,6 +219,121 @@ func TestCDF(t *testing.T) {
 	}
 }
 
+// Regression for the downsampling bug: the first emitted point used to
+// sit at rank len(s)/points, so every downsampled curve started above
+// the true minimum.
+func TestCDFKeepsMinimumWhenDownsampling(t *testing.T) {
+	vs := make([]float64, 100)
+	for i := range vs {
+		vs[i] = float64(i + 1) // 1..100
+	}
+	pts := CDF(vs, 10)
+	if len(pts) != 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0] != [2]float64{1, 0.01} {
+		t.Fatalf("first point = %v, want the minimum at rank 1 (1, 0.01)", pts[0])
+	}
+	if last := pts[len(pts)-1]; last != [2]float64{100, 1} {
+		t.Fatalf("last point = %v, want the maximum (100, 1)", last)
+	}
+	// Full resolution still enumerates every rank exactly once.
+	full := CDF([]float64{3, 1, 2}, 3)
+	want := [][2]float64{{1, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}}
+	for i := range want {
+		if full[i] != want[i] {
+			t.Fatalf("full-resolution CDF = %v, want %v", full, want)
+		}
+	}
+	// A single requested point degenerates to the maximum.
+	if one := CDF(vs, 1); len(one) != 1 || one[0] != [2]float64{100, 1} {
+		t.Fatalf("1-point CDF = %v", one)
+	}
+}
+
+// Golden values pinning Quantile's linear interpolation between ranks
+// (position q*(n-1), R-7), which its doc comment used to misname
+// "nearest-rank".
+func TestQuantileGoldenValues(t *testing.T) {
+	s := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 55},   // position 4.5: halfway between 50 and 60
+		{0.90, 91},   // position 8.1: 90*0.9 + 100*0.1
+		{0.99, 99.1}, // position 8.91: 90*0.09 + 100*0.91
+		{0.25, 32.5}, // position 2.25
+		{0.10, 19},   // position 0.9
+	} {
+		if got := Quantile(s, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("Quantile(q=%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Fatalf("single-element quantile = %v", got)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a := NewMetrics()
+	a.Count("join", 3)
+	a.Sample("lat", 1)
+	a.Sample("lat", 2)
+	b := NewMetrics()
+	b.Count("join", 4)
+	b.Count("data", 1)
+	b.Sample("lat", 3)
+	b.Sample("stretch", 1.5)
+
+	m := NewMetrics()
+	m.Merge(a)
+	m.Merge(b)
+	if m.Counter("join") != 7 || m.Counter("data") != 1 {
+		t.Fatalf("merged counters: join=%d data=%d", m.Counter("join"), m.Counter("data"))
+	}
+	if got := m.Samples("lat"); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("merged samples = %v, want stable concatenation [1 2 3]", got)
+	}
+	// Sources must be untouched.
+	if len(a.Samples("lat")) != 2 || b.Counter("join") != 4 {
+		t.Fatal("Merge must not modify its argument")
+	}
+}
+
+// Merge is order-independent up to sample ordering: counter totals and
+// sample multisets match regardless of which sink folds in first.
+func TestMetricsMergeOrderIndependent(t *testing.T) {
+	sinks := make([]Metrics, 3)
+	for i := range sinks {
+		sinks[i] = NewMetrics()
+		for j := 0; j <= i; j++ {
+			sinks[i].Count("msgs", int64(10*i+j))
+			sinks[i].Sample("v", float64(100*i+j))
+		}
+	}
+	fold := func(order []int) Metrics {
+		m := NewMetrics()
+		for _, i := range order {
+			m.Merge(sinks[i])
+		}
+		return m
+	}
+	fwd, rev := fold([]int{0, 1, 2}), fold([]int{2, 1, 0})
+	if fwd.Counter("msgs") != rev.Counter("msgs") {
+		t.Fatalf("counter depends on merge order: %d vs %d", fwd.Counter("msgs"), rev.Counter("msgs"))
+	}
+	f := append([]float64(nil), fwd.Samples("v")...)
+	r := append([]float64(nil), rev.Samples("v")...)
+	sort.Float64s(f)
+	sort.Float64s(r)
+	if len(f) != len(r) {
+		t.Fatalf("sample counts differ: %d vs %d", len(f), len(r))
+	}
+	for i := range f {
+		if f[i] != r[i] {
+			t.Fatalf("sample multisets differ at %d: %v vs %v", i, f, r)
+		}
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3})
 	if s.String() == "" {

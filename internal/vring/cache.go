@@ -1,6 +1,7 @@
 package vring
 
 import (
+	"container/heap"
 	"sort"
 
 	"rofl/internal/ident"
@@ -57,11 +58,38 @@ type PointerCache struct {
 	clock   uint64
 	hits    int64
 	misses  int64
+	// lru is a min-heap of (stamp, id) touch records with lazy
+	// invalidation: every Insert/Lookup touch pushes a record, and
+	// eviction pops until the top record still matches a live entry's
+	// latest stamp. Stale records (superseded touches, removed entries)
+	// are discarded on pop, and the heap is rebuilt from the live
+	// entries when staleness accumulates, so a steady-state insert costs
+	// O(log cap) amortized instead of the O(cap) scan it replaced.
+	lru lruHeap
 }
 
 type cacheEntry struct {
 	Pointer
 	lastUsed uint64
+}
+
+type lruRecord struct {
+	stamp uint64
+	id    ident.ID
+}
+
+type lruHeap []lruRecord
+
+func (h lruHeap) Len() int            { return len(h) }
+func (h lruHeap) Less(i, j int) bool  { return h[i].stamp < h[j].stamp }
+func (h lruHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lruHeap) Push(x interface{}) { *h = append(*h, x.(lruRecord)) }
+func (h *lruHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
 }
 
 // NewPointerCache returns a cache bounded to capacity entries;
@@ -99,10 +127,9 @@ func (c *PointerCache) Insert(p Pointer) {
 	if c.cap <= 0 {
 		return
 	}
-	c.clock++
 	if i, ok := c.find(p.ID); ok {
 		c.entries[i].Router = p.Router
-		c.entries[i].lastUsed = c.clock
+		c.touch(i)
 		return
 	}
 	if len(c.entries) >= c.cap {
@@ -111,10 +138,42 @@ func (c *PointerCache) Insert(p Pointer) {
 	i, _ := c.find(p.ID)
 	c.entries = append(c.entries, cacheEntry{})
 	copy(c.entries[i+1:], c.entries[i:])
-	c.entries[i] = cacheEntry{Pointer: p, lastUsed: c.clock}
+	c.entries[i] = cacheEntry{Pointer: p}
+	c.touch(i)
+}
+
+// touch stamps entries[i] as most recently used and records the touch in
+// the LRU heap. Stamps are unique (the clock advances on every touch),
+// so heap order — and therefore eviction order — is deterministic.
+func (c *PointerCache) touch(i int) {
+	c.clock++
+	c.entries[i].lastUsed = c.clock
+	heap.Push(&c.lru, lruRecord{stamp: c.clock, id: c.entries[i].ID})
+	if len(c.lru) > 4*c.cap+8 {
+		c.rebuildLRU()
+	}
+}
+
+// rebuildLRU compacts the heap to one record per live entry, bounding
+// the staleness accumulated by superseded touches and removals.
+func (c *PointerCache) rebuildLRU() {
+	c.lru = c.lru[:0]
+	for _, e := range c.entries {
+		c.lru = append(c.lru, lruRecord{stamp: e.lastUsed, id: e.ID})
+	}
+	heap.Init(&c.lru)
 }
 
 func (c *PointerCache) evictLRU() {
+	for len(c.lru) > 0 {
+		top := heap.Pop(&c.lru).(lruRecord)
+		if i, ok := c.find(top.id); ok && c.entries[i].lastUsed == top.stamp {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			return
+		}
+	}
+	// Unreachable while every touch pushes a record (each live entry's
+	// latest stamp is always in the heap); kept as a safety net.
 	if len(c.entries) == 0 {
 		return
 	}
@@ -172,8 +231,7 @@ func (c *PointerCache) Lookup(pos, dst ident.ID) (Pointer, bool) {
 		c.misses++
 		return Pointer{}, false
 	}
-	c.clock++
-	c.entries[idx].lastUsed = c.clock
+	c.touch(idx)
 	c.hits++
 	return e.Pointer, true
 }

@@ -1,7 +1,9 @@
 package vring
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"rofl/internal/ident"
@@ -146,6 +148,132 @@ func TestBestMatch(t *testing.T) {
 	}
 	if _, ok := bestMatch(id64(0), id64(5), nil); ok {
 		t.Fatal("empty set")
+	}
+}
+
+// scanLRUCache reimplements the pre-heap eviction policy — a full
+// linear scan for the minimum lastUsed stamp on every at-capacity
+// insert — both as the reference model for the stress test below and as
+// the baseline for BenchmarkCacheInsertAtCapacity*.
+type scanLRUCache struct {
+	cap     int
+	entries []cacheEntry
+	clock   uint64
+}
+
+func (c *scanLRUCache) find(id ident.ID) (int, bool) {
+	i := sort.Search(len(c.entries), func(k int) bool { return !c.entries[k].ID.Less(id) })
+	if i < len(c.entries) && c.entries[i].ID == id {
+		return i, true
+	}
+	return i, false
+}
+
+func (c *scanLRUCache) Insert(p Pointer) {
+	if c.cap <= 0 {
+		return
+	}
+	c.clock++
+	if i, ok := c.find(p.ID); ok {
+		c.entries[i].Router = p.Router
+		c.entries[i].lastUsed = c.clock
+		return
+	}
+	if len(c.entries) >= c.cap {
+		victim := 0
+		for i := 1; i < len(c.entries); i++ {
+			if c.entries[i].lastUsed < c.entries[victim].lastUsed {
+				victim = i
+			}
+		}
+		c.entries = append(c.entries[:victim], c.entries[victim+1:]...)
+	}
+	i, _ := c.find(p.ID)
+	c.entries = append(c.entries, cacheEntry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = cacheEntry{Pointer: p, lastUsed: c.clock}
+}
+
+// The heap-backed cache must evict exactly the entries the linear-scan
+// policy would, under a workload mixing inserts, updates and removals.
+func TestCacheEvictionMatchesLinearScanModel(t *testing.T) {
+	const capacity = 24
+	c := NewPointerCache(capacity)
+	model := &scanLRUCache{cap: capacity}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 8000; step++ {
+		switch rng.Intn(10) {
+		case 0: // remove a random live entry from both
+			if len(model.entries) > 0 {
+				id := model.entries[rng.Intn(len(model.entries))].ID
+				c.Remove(id)
+				i, _ := model.find(id)
+				model.entries = append(model.entries[:i], model.entries[i+1:]...)
+			}
+		default: // insert (small keyspace so updates and evictions mix)
+			p := Pointer{ID: id64(uint64(rng.Intn(3 * capacity))), Router: RouterID(rng.Intn(50))}
+			c.Insert(p)
+			model.Insert(p)
+		}
+		if c.Len() != len(model.entries) {
+			t.Fatalf("step %d: len %d != model %d", step, c.Len(), len(model.entries))
+		}
+		for i, e := range model.entries {
+			if c.entries[i].ID != e.ID || c.entries[i].Router != e.Router {
+				t.Fatalf("step %d: entry %d diverged: %v vs model %v", step, i, c.entries[i], e)
+			}
+		}
+	}
+}
+
+func benchFillIDs(n int) []ident.ID {
+	rng := rand.New(rand.NewSource(42))
+	ids := make([]ident.ID, n)
+	for i := range ids {
+		ids[i] = ident.Random(rng)
+	}
+	return ids
+}
+
+// BenchmarkCacheInsertAtCapacity measures steady-state inserts into a
+// full cache, where every insert evicts. The heap-backed LRU makes this
+// O(log cap) amortized; the LinearScan variant below is the old O(cap)
+// policy for comparison.
+func BenchmarkCacheInsertAtCapacity(b *testing.B) {
+	for _, capacity := range []int{1000, 70000} {
+		b.Run(fmt.Sprintf("cap=%d", capacity), func(b *testing.B) {
+			c := NewPointerCache(capacity)
+			for _, id := range benchFillIDs(capacity) {
+				c.Insert(Pointer{ID: id, Router: 1})
+			}
+			fresh := benchFillIDs(1 << 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fresh[i&(1<<16-1)]
+				id[0] = byte(i >> 16) // keep keys fresh so every insert evicts
+				c.Insert(Pointer{ID: id, Router: 2})
+			}
+		})
+	}
+}
+
+func BenchmarkCacheInsertAtCapacityLinearScan(b *testing.B) {
+	for _, capacity := range []int{1000, 70000} {
+		b.Run(fmt.Sprintf("cap=%d", capacity), func(b *testing.B) {
+			c := &scanLRUCache{cap: capacity}
+			for _, id := range benchFillIDs(capacity) {
+				c.Insert(Pointer{ID: id, Router: 1})
+			}
+			fresh := benchFillIDs(1 << 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fresh[i&(1<<16-1)]
+				id[0] = byte(i >> 16)
+				c.Insert(Pointer{ID: id, Router: 2})
+			}
+		})
 	}
 }
 
