@@ -8,12 +8,25 @@
 //	roflnode -name alice -listen 127.0.0.1:7001
 //	roflnode -name bob   -listen 127.0.0.1:7002 -join 127.0.0.1:7001
 //
+// The node's loss tolerance can be demoed reproducibly by degrading its
+// own uplink with the netem fault wrapper:
+//
+//	roflnode -name mallory -join 127.0.0.1:7001 -loss 0.3 -latency 20ms -seed 7
+//
+// drops 30% of outbound packets and delays the rest by 20ms, with the
+// drop sequence determined by -seed. Joins still succeed because control
+// requests are retried with exponential backoff.
+//
 // Interactive commands on stdin:
 //
 //	send <name> <message...>   greedy-route a message to the label of <name>
 //	ring                       print this node's ring pointers
+//	stats                      print fault-injection and delivery-drop counters
 //	id                         print this node's label
 //	quit
+//
+// SIGINT/SIGTERM shut the node down cleanly (Close flushes the ring
+// state and unblocks all loops), same as the quit command.
 package main
 
 import (
@@ -21,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rofl"
@@ -29,9 +44,13 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("name", "", "node name (label = hash of name); required")
-		listen = flag.String("listen", "127.0.0.1:0", "UDP bind address")
-		join   = flag.String("join", "", "address of an existing node to join through")
+		name    = flag.String("name", "", "node name (label = hash of name); required")
+		listen  = flag.String("listen", "127.0.0.1:0", "UDP bind address")
+		join    = flag.String("join", "", "address of an existing node to join through")
+		loss    = flag.Float64("loss", 0, "outbound packet loss probability [0,1] (fault injection)")
+		latency = flag.Duration("latency", 0, "outbound base latency (fault injection)")
+		jitter  = flag.Duration("jitter", 0, "outbound latency jitter (fault injection)")
+		seed    = flag.Int64("seed", 1, "RNG seed for the fault schedule (reproducible runs)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -39,12 +58,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	id := rofl.IDFromString(*name)
-	node, err := rofl.NewOverlayNode(id, *listen)
+	tr, err := rofl.ListenUDPTransport(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "roflnode: %v\n", err)
 		os.Exit(1)
 	}
+	var faults *rofl.FaultTransport
+	if *loss > 0 || *latency > 0 || *jitter > 0 {
+		faults = rofl.WrapFaultTransport(tr, rofl.FaultParams{
+			Loss:    *loss,
+			Latency: *latency,
+			Jitter:  *jitter,
+		}, *seed)
+		tr = faults
+	}
+
+	id := rofl.IDFromString(*name)
+	node := rofl.NewOverlayNodeTransport(id, tr)
 	defer node.Close()
 
 	if *join == "" {
@@ -65,29 +95,57 @@ func main() {
 		}
 	}()
 
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("> ")
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		switch {
-		case len(fields) == 0:
-		case fields[0] == "quit":
-			return
-		case fields[0] == "id":
-			fmt.Printf("%s (%s)\n", id, node.Addr())
-		case fields[0] == "ring":
-			for _, line := range node.Ring() {
-				fmt.Println(" ", line)
-			}
-		case fields[0] == "send" && len(fields) >= 3:
-			dst := rofl.IDFromString(fields[1])
-			msg := strings.Join(fields[2:], " ")
-			if err := node.Send(dst, []byte(msg)); err != nil {
-				fmt.Printf("send failed: %v\n", err)
-			}
-		default:
-			fmt.Println("commands: send <name> <msg...> | ring | id | quit")
+	// A clean shutdown path for both ^C and kill: Close the node so the
+	// socket, read loop, and stabilization timer all stop.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
 		}
-		fmt.Print("> ")
+	}()
+
+	fmt.Print("> ")
+	for {
+		select {
+		case sig := <-sigs:
+			fmt.Printf("\nroflnode: %s — shutting down\n", sig)
+			return // deferred Close runs
+		case line, ok := <-lines:
+			if !ok {
+				return // stdin closed
+			}
+			fields := strings.Fields(line)
+			switch {
+			case len(fields) == 0:
+			case fields[0] == "quit":
+				return
+			case fields[0] == "id":
+				fmt.Printf("%s (%s)\n", id, node.Addr())
+			case fields[0] == "ring":
+				for _, l := range node.Ring() {
+					fmt.Println(" ", l)
+				}
+			case fields[0] == "stats":
+				if faults != nil {
+					s := faults.Stats()
+					fmt.Printf("  uplink: sent=%d lost=%d duplicated=%d delivered=%d\n",
+						s.Sent, s.Lost, s.Duplicated, s.Delivered)
+				}
+				fmt.Printf("  deliveries dropped (slow consumer): %d\n", node.DroppedDeliveries())
+			case fields[0] == "send" && len(fields) >= 3:
+				dst := rofl.IDFromString(fields[1])
+				msg := strings.Join(fields[2:], " ")
+				if err := node.Send(dst, []byte(msg)); err != nil {
+					fmt.Printf("send failed: %v\n", err)
+				}
+			default:
+				fmt.Println("commands: send <name> <msg...> | ring | stats | id | quit")
+			}
+			fmt.Print("> ")
+		}
 	}
 }

@@ -1,0 +1,55 @@
+package netem
+
+import (
+	"fmt"
+	"net"
+)
+
+// UDP is the real-network Transport: a thin wrapper over one UDP socket
+// used for both sending and receiving, so the local address peers reply
+// to is the listening address.
+type UDP struct {
+	conn *net.UDPConn
+}
+
+// ListenUDP binds a UDP transport ("127.0.0.1:0" picks a free port).
+func ListenUDP(bind string) (*UDP, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("netem: resolving %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netem: listening on %q: %w", bind, err)
+	}
+	return &UDP{conn: conn}, nil
+}
+
+// LocalAddr returns the bound host:port.
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// Send transmits one datagram to addr.
+func (u *UDP) Send(addr string, p []byte) error {
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("netem: resolving %q: %w", addr, err)
+	}
+	if _, err := u.conn.WriteToUDP(p, udp); err != nil {
+		return fmt.Errorf("netem: sending to %s: %w", addr, err)
+	}
+	return nil
+}
+
+// Recv blocks for one datagram; it returns ErrClosed once the socket is
+// closed.
+func (u *UDP) Recv() ([]byte, string, error) {
+	buf := make([]byte, 64*1024)
+	n, from, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, "", ErrClosed
+	}
+	return buf[:n:n], from.String(), nil
+}
+
+// Close shuts the socket down, unblocking Recv.
+func (u *UDP) Close() error { return u.conn.Close() }

@@ -1,32 +1,48 @@
-// Package overlay runs the intradomain ROFL protocol over real UDP
-// sockets: nodes carry flat labels, splice themselves into a successor
+// Package overlay runs the intradomain ROFL protocol over a datagram
+// transport: nodes carry flat labels, splice themselves into a successor
 // ring by greedy-routing join requests (paper §3.1), and forward data
 // packets to the closest identifier that does not overshoot the
 // destination (Algorithm 2). It demonstrates that the state machines the
 // simulator measures also run outside it, using the binary wire format
 // of package wire on the wire.
 //
+// The transport is abstracted behind netem.Transport: live deployments
+// bind real UDP sockets, while tests drive the same node code through
+// netem's deterministic fault-injecting fabric. The protocol is hardened
+// accordingly: control requests (join, stabilize) carry request IDs and
+// are retried with exponential backoff, handlers are idempotent under
+// retransmission, stale replies are discarded, evicted peers are
+// remembered and probed so rings split by a partition re-merge after it
+// heals, and delivery to the application never blocks the read loop.
+//
 // The overlay is deliberately one level (no physical-topology source
-// routes — every node can reach every other over UDP, playing the role
-// the OSPF substrate plays inside an ISP).
+// routes — every node can reach every other over the transport, playing
+// the role the OSPF substrate plays inside an ISP).
 package overlay
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rofl/internal/ident"
+	"rofl/internal/netem"
 	"rofl/internal/wire"
 )
 
 // ErrTimeout reports a request that received no answer in time.
 var ErrTimeout = errors.New("overlay: request timed out")
 
-// entry pairs an identifier with the UDP address hosting it.
+// ErrClosed reports an operation on a closed node.
+var ErrClosed = errors.New("overlay: node closed")
+
+// ErrBusy reports that the in-flight request table is full.
+var ErrBusy = errors.New("overlay: too many in-flight requests")
+
+// entry pairs an identifier with the transport address hosting it.
 type entry struct {
 	ID   ident.ID
 	Addr string
@@ -82,19 +98,68 @@ type Delivery struct {
 // packet's wire header.
 type Gate func(src ident.ID, capability []byte) error
 
-// Node is one overlay participant: a flat label bound to a UDP socket.
+// RetryPolicy shapes the retransmission schedule of control requests:
+// the first retransmit fires after Initial, each subsequent wait is
+// multiplied by Multiplier and capped at Max, until the caller's
+// deadline expires.
+type RetryPolicy struct {
+	Initial    time.Duration
+	Max        time.Duration
+	Multiplier float64
+}
+
+// DefaultRetryPolicy is tuned for LAN/loopback latencies: fast first
+// retry, doubling to a 2s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Initial: 120 * time.Millisecond, Max: 2 * time.Second, Multiplier: 2}
+}
+
+const (
+	// maxInFlight bounds the request table; register past this fails
+	// with ErrBusy instead of growing without limit.
+	maxInFlight = 64
+	// maxKnown bounds the remembered-peer set used for repair probes.
+	maxKnown = 128
+	// maxRecentStab bounds the window of outstanding stabilize request
+	// IDs; replies outside the window are stale and ignored.
+	maxRecentStab = 16
+	// gossipFanout is how many randomly chosen known peers ride along in
+	// each stabilize request. Ring pointers alone spread membership only
+	// to ID-adjacent neighbours; gossip disseminates it globally, so that
+	// after a partition every side still knows (and can probe) enough of
+	// its own members to re-form — and later re-merge — a ring.
+	gossipFanout = 3
+)
+
+// Node is one overlay participant: a flat label bound to a transport.
 type Node struct {
-	id   ident.ID
-	conn *net.UDPConn
+	id ident.ID
+	tr netem.Transport
 
 	mu     sync.Mutex
 	succs  []entry // successor group, ascending from id
 	pred   *entry
 	closed bool
+	retry  RetryPolicy
+
+	// pending maps an outstanding request ID to the waiter's channel;
+	// bounded by maxInFlight.
+	pending map[uint64]chan *wire.Packet
+	reqSeq  uint64
+	// known remembers every peer this node has heard of — including
+	// evicted-as-dead successors — and feeds the stabilization-time
+	// repair probes that let two rings separated by a partition find
+	// each other again after it heals (the overlay's analogue of the
+	// paper's §3.3 ring-merge).
+	known map[ident.ID]entry
+	// recentStab is the window of stabilize request IDs awaiting a
+	// reply; replies whose ReqID is not in the window are discarded as
+	// stale (reordered or duplicated by the network).
+	recentStab map[uint64]struct{}
+	stabFIFO   []uint64
 
 	deliveries chan Delivery
-	joined     chan struct{} // closed when a join reply arrives
-	joinOnce   sync.Once
+	dropCount  atomic.Uint64 // deliveries dropped on a full channel
 	gate       Gate
 
 	stabilizeStop chan struct{}
@@ -102,9 +167,19 @@ type Node struct {
 	// succMisses counts consecutive stabilization rounds without a reply
 	// from the current successor; past a threshold the successor is
 	// declared dead and the group shifts down (§2.2 successor-groups).
+	// lastSucc remembers which successor the count applies to, so
+	// adopting a different successor restarts the clock.
 	succMisses int
+	lastSucc   *ident.ID
+	// predMisses counts consecutive stabilization rounds without hearing
+	// a stabilize request from the current predecessor. A live
+	// predecessor contacts its successor every round, so silence past a
+	// threshold means the predecessor is dead or partitioned away — the
+	// pointer is cleared so a live claimant can take its place.
+	predMisses int
 
-	wg sync.WaitGroup
+	done chan struct{} // closed by Close; unblocks pending requests
+	wg   sync.WaitGroup
 }
 
 // SuccessorGroupSize is the number of successors an overlay node keeps.
@@ -113,33 +188,45 @@ const SuccessorGroupSize = 3
 // NewNode binds a node to a UDP address ("127.0.0.1:0" picks a free
 // port) and starts its receive loop.
 func NewNode(id ident.ID, bind string) (*Node, error) {
-	addr, err := net.ResolveUDPAddr("udp", bind)
+	tr, err := netem.ListenUDP(bind)
 	if err != nil {
-		return nil, fmt.Errorf("overlay: resolving %q: %w", bind, err)
+		return nil, fmt.Errorf("overlay: %w", err)
 	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("overlay: listening: %w", err)
-	}
+	return NewNodeTransport(id, tr), nil
+}
+
+// NewNodeTransport binds a node to an existing transport (a netem
+// endpoint, a fault-wrapped socket, …) and starts its receive loop. The
+// node owns the transport and closes it on Close.
+func NewNodeTransport(id ident.ID, tr netem.Transport) *Node {
 	n := &Node{
 		id:         id,
-		conn:       conn,
+		tr:         tr,
+		retry:      DefaultRetryPolicy(),
+		pending:    make(map[uint64]chan *wire.Packet),
+		known:      make(map[ident.ID]entry),
+		recentStab: make(map[uint64]struct{}),
 		deliveries: make(chan Delivery, 64),
-		joined:     make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.readLoop()
-	return n, nil
+	return n
 }
 
 // ID returns the node's flat label.
 func (n *Node) ID() ident.ID { return n.id }
 
-// Addr returns the node's UDP address string.
-func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.tr.LocalAddr() }
 
 // Deliveries returns the channel of received data packets.
 func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
+
+// DroppedDeliveries returns how many data packets were discarded because
+// the application was not draining Deliveries — the read loop never
+// blocks on a slow consumer.
+func (n *Node) DroppedDeliveries() uint64 { return n.dropCount.Load() }
 
 // SetGate installs an admission gate consulted before any data packet is
 // delivered locally; packets the gate rejects are dropped silently, as a
@@ -147,6 +234,14 @@ func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
 func (n *Node) SetGate(g Gate) {
 	n.mu.Lock()
 	n.gate = g
+	n.mu.Unlock()
+}
+
+// SetRetryPolicy replaces the retransmission schedule for subsequent
+// control requests. Call before Join/StartStabilize.
+func (n *Node) SetRetryPolicy(p RetryPolicy) {
+	n.mu.Lock()
+	n.retry = p
 	n.mu.Unlock()
 }
 
@@ -160,10 +255,11 @@ func (n *Node) Close() error {
 	n.closed = true
 	stop := n.stabilizeStop
 	n.mu.Unlock()
+	close(n.done)
 	if stop != nil {
 		n.stabilizeOnce.Do(func() { close(stop) })
 	}
-	err := n.conn.Close()
+	err := n.tr.Close()
 	n.wg.Wait()
 	close(n.deliveries)
 	return err
@@ -173,14 +269,25 @@ func (n *Node) Close() error {
 // successor dead.
 const succFailThreshold = 4
 
+// predFailThreshold is how many stabilization rounds without a stabilize
+// request from the predecessor clear the predecessor pointer. It is
+// higher than succFailThreshold because the signal is indirect (we rely
+// on the predecessor's own timer) and a false clear briefly opens the
+// ring to a worse claimant.
+const predFailThreshold = 8
+
 // StartStabilize runs Chord-style stabilization every interval: the node
 // asks its successor for the successor's current predecessor and adopts
 // it when it falls between them, repairing rings assembled by concurrent
 // joins; a successor that misses several consecutive rounds is declared
 // dead and the successor group shifts down, exactly the failover role
-// the paper assigns to successor-groups (§2.2). The paper's virtual
-// nodes "piggyback probes on data packets to ensure this state is
-// maintained correctly" (§4.1); a timer plays that role in the overlay.
+// the paper assigns to successor-groups (§2.2). Each round also probes
+// one remembered peer outside the successor group, so rings that
+// diverged — most importantly the two sides of a healed partition —
+// rediscover each other and merge (§3.3's repair, driven by probes
+// instead of zero-ID floods). The paper's virtual nodes "piggyback
+// probes on data packets to ensure this state is maintained correctly"
+// (§4.1); a timer plays that role in the overlay.
 func (n *Node) StartStabilize(interval time.Duration) {
 	n.mu.Lock()
 	if n.closed || n.stabilizeStop != nil {
@@ -206,101 +313,243 @@ func (n *Node) StartStabilize(interval time.Duration) {
 	}()
 }
 
+// noteStabLocked registers a stabilize request ID in the reply window,
+// evicting the oldest entry past maxRecentStab. Caller holds n.mu.
+func (n *Node) noteStabLocked(id uint64) {
+	n.recentStab[id] = struct{}{}
+	n.stabFIFO = append(n.stabFIFO, id)
+	if len(n.stabFIFO) > maxRecentStab {
+		delete(n.recentStab, n.stabFIFO[0])
+		n.stabFIFO = n.stabFIFO[1:]
+	}
+}
+
+// learnLocked remembers a peer for repair probing. Caller holds n.mu.
+func (n *Node) learnLocked(e entry) {
+	if e.ID == n.id || e.Addr == "" {
+		return
+	}
+	if _, ok := n.known[e.ID]; !ok && len(n.known) >= maxKnown {
+		for k := range n.known { // arbitrary eviction keeps the set bounded
+			delete(n.known, k)
+			break
+		}
+	}
+	n.known[e.ID] = e
+}
+
+// gossipLocked returns the stabilize-request payload: the node's own
+// entry followed by up to gossipFanout remembered peers (map iteration
+// order makes the sample effectively random). Caller holds n.mu.
+func (n *Node) gossipLocked(self entry) []entry {
+	out := append(make([]entry, 0, 1+gossipFanout), self)
+	for _, e := range n.known {
+		if len(out) > gossipFanout {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// pickProbeLocked selects a remembered peer outside the successor head
+// to probe this round (map iteration order makes the pick effectively
+// random). Caller holds n.mu.
+func (n *Node) pickProbeLocked() (entry, bool) {
+	for _, e := range n.known {
+		if e.ID == n.id {
+			continue
+		}
+		if len(n.succs) > 0 && e.ID == n.succs[0].ID {
+			continue
+		}
+		return e, true
+	}
+	return entry{}, false
+}
+
 func (n *Node) stabilizeOnceRound() {
 	n.mu.Lock()
-	if len(n.succs) == 0 || n.succs[0].ID == n.id {
+	if n.closed || len(n.succs) == 0 {
 		n.mu.Unlock()
 		return
 	}
-	// A successor that stays silent across several rounds is dead: shift
-	// the group down. If the group empties, collapse to a self-ring and
-	// wait for someone to find us.
-	n.succMisses++
-	if n.succMisses > succFailThreshold {
-		dead := n.succs[0]
-		n.succs = n.succs[1:]
-		if len(n.succs) == 0 {
-			self := entry{ID: n.id, Addr: n.Addr()}
-			n.succs = []entry{self}
-		}
-		if n.pred != nil && n.pred.ID == dead.ID {
+	self := entry{ID: n.id, Addr: n.tr.LocalAddr()}
+	// A predecessor that has not sent us a stabilize request in many
+	// rounds is dead or unreachable; clear it so a live claimant can be
+	// adopted (a stale pointer would otherwise block better askers
+	// forever — the Between test only admits improvements).
+	if n.pred != nil && n.pred.ID != n.id {
+		n.predMisses++
+		if n.predMisses > predFailThreshold {
 			n.pred = nil
+			n.predMisses = 0
 		}
-		n.succMisses = 0
 	}
-	succ := n.succs[0]
-	self := entry{ID: n.id, Addr: n.Addr()}
+	var succPkt *wire.Packet
+	var succAddr string
+	if n.succs[0].ID != n.id {
+		// A successor that stays silent across several rounds is dead:
+		// shift the group down. If the group empties, collapse to a
+		// self-ring; the dead peer stays in known so a later repair
+		// probe can find it again if it was only partitioned away.
+		if n.lastSucc == nil || *n.lastSucc != n.succs[0].ID {
+			cur := n.succs[0].ID
+			n.lastSucc = &cur
+			n.succMisses = 0
+		}
+		n.succMisses++
+		if n.succMisses > succFailThreshold {
+			dead := n.succs[0]
+			n.succs = n.succs[1:]
+			if len(n.succs) == 0 {
+				n.succs = []entry{self}
+			}
+			if n.pred != nil && n.pred.ID == dead.ID {
+				n.pred = nil
+			}
+			n.succMisses = 0
+		}
+		if succ := n.succs[0]; succ.ID != n.id {
+			n.reqSeq++
+			id := n.reqSeq
+			n.noteStabLocked(id)
+			succPkt = &wire.Packet{
+				Type: wire.TypeStabilize, TTL: wire.DefaultTTL,
+				Dst: succ.ID, Src: n.id, ReqID: id,
+				Payload: encodeEntries(n.gossipLocked(self)),
+			}
+			succAddr = succ.Addr
+		}
+	}
+	var probePkt *wire.Packet
+	var probeAddr string
+	if probe, ok := n.pickProbeLocked(); ok {
+		n.reqSeq++
+		id := n.reqSeq
+		n.noteStabLocked(id)
+		probePkt = &wire.Packet{
+			Type: wire.TypeStabilize, TTL: wire.DefaultTTL,
+			Dst: probe.ID, Src: n.id, ReqID: id,
+			Payload: encodeEntries(n.gossipLocked(self)),
+		}
+		probeAddr = probe.Addr
+	}
 	n.mu.Unlock()
-	if succ.ID == n.id {
-		return
+	if succPkt != nil {
+		_ = n.send(succAddr, succPkt)
 	}
-	pkt := &wire.Packet{
-		Type: wire.TypeStabilize, TTL: wire.DefaultTTL,
-		Dst: succ.ID, Src: n.id,
-		Payload: encodeEntries([]entry{self}),
+	if probePkt != nil {
+		_ = n.send(probeAddr, probePkt)
 	}
-	_ = n.send(succ.Addr, pkt)
 }
 
 func (n *Node) handleStabilize(pkt *wire.Packet) {
 	es, err := decodeEntries(pkt.Payload)
-	if err != nil || len(es) != 1 {
+	if err != nil || len(es) < 1 {
 		return
 	}
+	// The request carries the asker first, then gossiped peers.
 	asker := es[0]
 	n.mu.Lock()
+	for _, e := range es {
+		n.learnLocked(e)
+	}
 	// The asker believes we are its successor; adopt it as predecessor
-	// when it falls between our current predecessor and us.
-	if n.pred == nil || ident.Between(asker.ID, n.pred.ID, n.id) {
+	// when it falls between our current predecessor and us. Hearing from
+	// the current predecessor proves it alive.
+	if asker.ID != n.id && (n.pred == nil || ident.Between(asker.ID, n.pred.ID, n.id)) {
 		p := asker
 		n.pred = &p
+		n.predMisses = 0
+	} else if n.pred != nil && asker.ID == n.pred.ID {
+		n.predMisses = 0
+	}
+	// Symmetric repair: an asker that falls between us and our current
+	// successor is a better successor — adopt it. This is how the
+	// responder side of a repair probe re-links a merged ring.
+	if len(n.succs) > 0 && asker.ID != n.id &&
+		ident.Between(asker.ID, n.id, n.succs[0].ID) && asker.ID != n.succs[0].ID {
+		n.succs = append([]entry{asker}, n.succs...)
+		if len(n.succs) > SuccessorGroupSize {
+			n.succs = n.succs[:SuccessorGroupSize]
+		}
 	}
 	reply := make([]entry, 0, 1+len(n.succs))
 	if n.pred != nil {
 		reply = append(reply, *n.pred)
 	} else {
-		reply = append(reply, entry{ID: n.id, Addr: n.Addr()})
+		reply = append(reply, entry{ID: n.id, Addr: n.tr.LocalAddr()})
 	}
 	reply = append(reply, n.succs...)
 	n.mu.Unlock()
 	out := &wire.Packet{
 		Type: wire.TypeStabilizeReply, TTL: wire.DefaultTTL,
-		Dst: asker.ID, Src: n.id,
+		Dst: asker.ID, Src: n.id, ReqID: pkt.ReqID,
 		Payload: encodeEntries(reply),
 	}
 	_ = n.send(asker.Addr, out)
 }
 
-func (n *Node) handleStabilizeReply(pkt *wire.Packet) {
+func (n *Node) handleStabilizeReply(pkt *wire.Packet, from string) {
 	es, err := decodeEntries(pkt.Payload)
 	if err != nil || len(es) < 1 {
 		return
 	}
-	succPred := es[0]
+	responder := entry{ID: pkt.Src, Addr: from}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if _, ok := n.recentStab[pkt.ReqID]; !ok {
+		return // stale, duplicated, or unsolicited reply
+	}
+	delete(n.recentStab, pkt.ReqID)
+	n.learnLocked(responder)
+	for _, e := range es {
+		n.learnLocked(e)
+	}
 	if len(n.succs) == 0 {
 		return
 	}
 	if pkt.Src == n.succs[0].ID {
 		n.succMisses = 0 // the successor is alive
 	}
-	// If our successor knows a predecessor between us and it, that node
-	// is our true successor.
-	if succPred.ID != n.id && ident.BetweenOpen(succPred.ID, n.id, n.succs[0].ID) {
-		n.succs = append([]entry{succPred}, n.succs...)
+	// Adopt any candidate — the responder itself or anyone it reported —
+	// that falls between us and our current successor: the reply to a
+	// normal stabilize tightens the ring exactly as before, and the
+	// reply to a repair probe splices a foreign ring's nodes in.
+	candidates := append([]entry{responder}, es...)
+	for _, c := range candidates {
+		if c.ID == n.id {
+			continue
+		}
+		if ident.Between(c.ID, n.id, n.succs[0].ID) && c.ID != n.succs[0].ID {
+			n.succs = append([]entry{c}, n.succs...)
+		}
 	}
-	// Refresh the successor group from the successor's own list.
-	group := n.succs[:1]
-	for _, e := range es[1:] {
+	// Refresh the successor group: head, then the responder and its own
+	// successor list in order. Built in a fresh slice — appending into
+	// n.succs' backing array would race with readers holding pointers
+	// into it.
+	group := append(make([]entry, 0, SuccessorGroupSize), n.succs[0])
+	for _, e := range append([]entry{responder}, es[1:]...) {
 		if len(group) >= SuccessorGroupSize {
 			break
 		}
-		if e.ID != n.id && e.ID != group[len(group)-1].ID {
-			group = append(group, e)
+		if e.ID == n.id || containsID(group, e.ID) {
+			continue
 		}
+		group = append(group, e)
 	}
 	n.succs = group
+}
+
+func containsID(es []entry, id ident.ID) bool {
+	for _, e := range es {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // SuccessorGroup returns a snapshot of the successor group's
@@ -341,15 +590,108 @@ func (n *Node) Predecessor() (ident.ID, string, bool) {
 func (n *Node) Bootstrap() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	self := entry{ID: n.id, Addr: n.Addr()}
+	self := entry{ID: n.id, Addr: n.tr.LocalAddr()}
 	n.succs = []entry{self}
 	n.pred = &self
+}
+
+// register allocates a request ID and its reply channel in the bounded
+// in-flight table.
+func (n *Node) register() (uint64, chan *wire.Packet, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, nil, ErrClosed
+	}
+	if len(n.pending) >= maxInFlight {
+		return 0, nil, ErrBusy
+	}
+	n.reqSeq++
+	id := n.reqSeq
+	ch := make(chan *wire.Packet, 1)
+	n.pending[id] = ch
+	return id, ch, nil
+}
+
+func (n *Node) unregister(id uint64) {
+	n.mu.Lock()
+	delete(n.pending, id)
+	n.mu.Unlock()
+}
+
+// resolve hands a reply to the matching in-flight request, if any.
+func (n *Node) resolve(pkt *wire.Packet) {
+	n.mu.Lock()
+	ch, ok := n.pending[pkt.ReqID]
+	if ok {
+		delete(n.pending, pkt.ReqID)
+	}
+	n.mu.Unlock()
+	if ok {
+		select {
+		case ch <- pkt:
+		default:
+		}
+	}
+}
+
+// request sends pkt to addr and waits for the reply carrying the same
+// request ID, retransmitting with exponential backoff until the timeout
+// expires. Retransmissions reuse the request ID, so the far side may
+// process the request more than once — handlers are idempotent — and any
+// one reply completes the exchange.
+func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*wire.Packet, error) {
+	id, ch, err := n.register()
+	if err != nil {
+		return nil, err
+	}
+	defer n.unregister(id)
+	pkt.ReqID = id
+	n.mu.Lock()
+	retry := n.retry
+	n.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	backoff := retry.Initial
+	if backoff <= 0 {
+		backoff = timeout
+	}
+	for attempt := 1; ; attempt++ {
+		if err := n.send(addr, pkt); err != nil {
+			return nil, err
+		}
+		wait := backoff
+		if rem := time.Until(deadline); rem < wait {
+			wait = rem
+		}
+		if wait <= 0 {
+			return nil, fmt.Errorf("%w after %d attempts", ErrTimeout, attempt)
+		}
+		t := time.NewTimer(wait)
+		select {
+		case reply := <-ch:
+			t.Stop()
+			return reply, nil
+		case <-n.done:
+			t.Stop()
+			return nil, ErrClosed
+		case <-t.C:
+			if !time.Now().Before(deadline) {
+				return nil, fmt.Errorf("%w after %d attempts", ErrTimeout, attempt)
+			}
+			backoff = time.Duration(float64(backoff) * retry.Multiplier)
+			if retry.Max > 0 && backoff > retry.Max {
+				backoff = retry.Max
+			}
+		}
+	}
 }
 
 // Join splices the node into the ring through any existing member: a
 // join request is greedy-routed toward the node's own identifier; the
 // predecessor that receives it replies with the successor set and
-// notifies its old successor (§3.1).
+// notifies its old successor (§3.1). The request is retried with
+// backoff until timeout — a single lost datagram no longer fails the
+// join — and retries are idempotent at the predecessor.
 func (n *Node) Join(via string, timeout time.Duration) error {
 	pkt := &wire.Packet{
 		Type: wire.TypeJoinRequest,
@@ -358,17 +700,46 @@ func (n *Node) Join(via string, timeout time.Duration) error {
 		Src:  n.id,
 		// Payload carries our address so the predecessor can answer and
 		// the ring can point at us.
-		Payload: encodeEntries([]entry{{ID: n.id, Addr: n.Addr()}}),
+		Payload: encodeEntries([]entry{{ID: n.id, Addr: n.tr.LocalAddr()}}),
 	}
-	if err := n.send(via, pkt); err != nil {
-		return err
+	reply, err := n.request(via, pkt, timeout)
+	if err != nil {
+		return fmt.Errorf("overlay: join via %s: %w", via, err)
 	}
-	select {
-	case <-n.joined:
-		return nil
-	case <-time.After(timeout):
-		return fmt.Errorf("%w: join via %s", ErrTimeout, via)
+	return n.applyJoinReply(reply)
+}
+
+func (n *Node) applyJoinReply(pkt *wire.Packet) error {
+	es, err := decodeEntries(pkt.Payload)
+	if err != nil || len(es) < 1 {
+		return fmt.Errorf("overlay: malformed join reply")
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	pred := es[0]
+	for _, e := range es {
+		n.learnLocked(e)
+	}
+	if pred.ID != n.id {
+		n.pred = &pred
+		n.predMisses = 0
+	}
+	succs := make([]entry, 0, SuccessorGroupSize)
+	for _, e := range es[1:] {
+		if e.ID == n.id {
+			continue
+		}
+		succs = append(succs, e)
+		if len(succs) >= SuccessorGroupSize {
+			break
+		}
+	}
+	if len(succs) == 0 {
+		// Two-node ring: our predecessor is also our successor.
+		succs = append(succs, pred)
+	}
+	n.succs = succs
+	return nil
 }
 
 // Send greedy-routes a data payload toward dst.
@@ -396,11 +767,7 @@ func (n *Node) send(addr string, pkt *wire.Packet) error {
 	if err != nil {
 		return fmt.Errorf("overlay: marshal: %w", err)
 	}
-	udp, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return fmt.Errorf("overlay: resolving %q: %w", addr, err)
-	}
-	if _, err := n.conn.WriteToUDP(buf, udp); err != nil {
+	if err := n.tr.Send(addr, buf); err != nil {
 		return fmt.Errorf("overlay: sending to %s: %w", addr, err)
 	}
 	return nil
@@ -408,21 +775,20 @@ func (n *Node) send(addr string, pkt *wire.Packet) error {
 
 func (n *Node) readLoop() {
 	defer n.wg.Done()
-	buf := make([]byte, 64*1024)
 	for {
-		sz, _, err := n.conn.ReadFromUDP(buf)
+		buf, from, err := n.tr.Recv()
 		if err != nil {
 			return // closed
 		}
 		var pkt wire.Packet
-		if err := pkt.DecodeFromBytes(buf[:sz]); err != nil {
+		if err := pkt.DecodeFromBytes(buf); err != nil {
 			continue // drop malformed datagrams
 		}
-		n.handle(&pkt)
+		n.handle(&pkt, from)
 	}
 }
 
-func (n *Node) handle(pkt *wire.Packet) {
+func (n *Node) handle(pkt *wire.Packet, from string) {
 	switch pkt.Type {
 	case wire.TypeData:
 		if pkt.Dst == n.id {
@@ -445,32 +811,44 @@ func (n *Node) handle(pkt *wire.Packet) {
 	case wire.TypeJoinRequest:
 		n.handleJoin(pkt)
 	case wire.TypeJoinReply:
-		n.handleJoinReply(pkt)
+		n.resolve(pkt)
 	case wire.TypeAck:
 		n.handleNotify(pkt)
 	case wire.TypeStabilize:
 		n.handleStabilize(pkt)
 	case wire.TypeStabilizeReply:
-		n.handleStabilizeReply(pkt)
+		n.handleStabilizeReply(pkt, from)
 	}
 }
 
+// deliver hands a packet to the application without ever blocking the
+// read loop: when the consumer is not draining, the packet is dropped
+// and counted instead.
 func (n *Node) deliver(d Delivery) {
 	select {
 	case n.deliveries <- d:
 	default:
-		// Application is not draining; drop rather than block the loop.
+		n.dropCount.Add(1)
 	}
 }
 
 // forward implements greedy next-hop choice over the node's ring
 // pointers: closest to pkt.Dst without overshooting our own position.
 func (n *Node) forward(pkt *wire.Packet) error {
+	return n.forwardExcept(pkt, n.id)
+}
+
+// forwardExcept is forward with one identifier barred as next hop (the
+// node's own ID bars nothing extra). Join requests exclude the joiner
+// itself: once the ring already points at a joiner whose join reply was
+// lost, a retried request must reach the joiner's predecessor — which
+// can answer — rather than short-circuiting to the joiner, which cannot.
+func (n *Node) forwardExcept(pkt *wire.Packet, exclude ident.ID) error {
 	n.mu.Lock()
 	var best *entry
 	var bestDist ident.ID
 	consider := func(e *entry) {
-		if e.ID == n.id || !ident.Progress(n.id, pkt.Dst, e.ID) {
+		if e.ID == n.id || e.ID == exclude || !ident.Progress(n.id, pkt.Dst, e.ID) {
 			return
 		}
 		d := e.ID.Distance(pkt.Dst)
@@ -484,31 +862,41 @@ func (n *Node) forward(pkt *wire.Packet) error {
 	if n.pred != nil {
 		consider(n.pred)
 	}
+	var bestAddr string
+	if best != nil {
+		bestAddr = best.Addr // copy before unlock: best aliases n.succs
+	}
 	n.mu.Unlock()
 	if best == nil {
 		// We are the destination's predecessor and it is not present:
 		// drop (the overlay has no parked ephemerals).
 		return nil
 	}
-	return n.send(best.Addr, pkt)
+	return n.send(bestAddr, pkt)
 }
 
 // handleJoin runs at every node a join request traverses. If the joining
 // identifier falls between us and our successor, we are its predecessor:
 // reply with the successor set, adopt the joiner as our new successor,
 // and notify the old successor to update its predecessor. Otherwise
-// forward greedily.
+// forward greedily (never to the joiner itself). The splice is
+// idempotent: a retransmitted request from a joiner we already adopted
+// produces the same reply again and mutates nothing.
 func (n *Node) handleJoin(pkt *wire.Packet) {
 	src, err := decodeEntries(pkt.Payload)
 	if err != nil || len(src) != 1 {
 		return
 	}
 	joiner := src[0]
+	if joiner.ID == n.id {
+		return // our own retried join found its way back; only the predecessor can answer
+	}
 	n.mu.Lock()
 	if len(n.succs) == 0 {
 		n.mu.Unlock()
 		return // not bootstrapped yet
 	}
+	n.learnLocked(joiner)
 	succ := n.succs[0]
 	isPred := succ.ID == n.id || ident.Between(joiner.ID, n.id, succ.ID)
 	if !isPred {
@@ -517,12 +905,12 @@ func (n *Node) handleJoin(pkt *wire.Packet) {
 			return
 		}
 		pkt.TTL--
-		_ = n.forward(pkt)
+		_ = n.forwardExcept(pkt, joiner.ID)
 		return
 	}
 	// Splice: joiner inherits our successor set; we adopt the joiner.
 	reply := make([]entry, 0, SuccessorGroupSize+1)
-	reply = append(reply, entry{ID: n.id, Addr: n.Addr()}) // predecessor first
+	reply = append(reply, entry{ID: n.id, Addr: n.tr.LocalAddr()}) // predecessor first
 	reply = append(reply, n.succs...)
 	newSuccs := make([]entry, 0, SuccessorGroupSize)
 	newSuccs = append(newSuccs, joiner)
@@ -539,18 +927,20 @@ func (n *Node) handleJoin(pkt *wire.Packet) {
 		// We were alone; in a two-node ring the joiner is also our
 		// predecessor.
 		n.pred = &joiner
+		n.predMisses = 0
 	}
 	oldSucc := succ
 	n.mu.Unlock()
 
 	out := &wire.Packet{
 		Type: wire.TypeJoinReply, TTL: wire.DefaultTTL,
-		Dst: joiner.ID, Src: n.id,
+		Dst: joiner.ID, Src: n.id, ReqID: pkt.ReqID,
 		Payload: encodeEntries(reply),
 	}
 	_ = n.send(joiner.Addr, out)
-	// Tell the old successor its predecessor changed.
-	if oldSucc.ID != n.id {
+	// Tell the old successor its predecessor changed. On a retransmitted
+	// request the old successor is the joiner itself — nothing to notify.
+	if oldSucc.ID != n.id && oldSucc.ID != joiner.ID {
 		notify := &wire.Packet{
 			Type: wire.TypeAck, TTL: wire.DefaultTTL,
 			Dst: oldSucc.ID, Src: n.id,
@@ -560,45 +950,23 @@ func (n *Node) handleJoin(pkt *wire.Packet) {
 	}
 }
 
-func (n *Node) handleJoinReply(pkt *wire.Packet) {
-	es, err := decodeEntries(pkt.Payload)
-	if err != nil || len(es) < 1 {
-		return
-	}
-	n.mu.Lock()
-	pred := es[0]
-	n.pred = &pred
-	succs := make([]entry, 0, SuccessorGroupSize)
-	for _, e := range es[1:] {
-		if e.ID == n.id {
-			continue
-		}
-		succs = append(succs, e)
-		if len(succs) >= SuccessorGroupSize {
-			break
-		}
-	}
-	if len(succs) == 0 {
-		// Two-node ring: our predecessor is also our successor.
-		succs = append(succs, pred)
-	}
-	n.succs = succs
-	n.mu.Unlock()
-	n.joinOnce.Do(func() { close(n.joined) })
-}
-
 func (n *Node) handleNotify(pkt *wire.Packet) {
 	es, err := decodeEntries(pkt.Payload)
 	if err != nil || len(es) != 1 {
 		return
 	}
 	p := es[0]
+	if p.ID == n.id {
+		return // a stale notification must never make us our own predecessor
+	}
 	n.mu.Lock()
+	n.learnLocked(p)
 	// Adopt the notified predecessor only when it improves on the
 	// current one — unconditional adoption would let stale notifications
 	// from concurrent joins regress the ring.
 	if n.pred == nil || n.pred.ID == n.id || ident.Between(p.ID, n.pred.ID, n.id) {
 		n.pred = &p
+		n.predMisses = 0
 	}
 	n.mu.Unlock()
 }

@@ -97,18 +97,24 @@ const MaxCapability = 512
 
 // Packet is a decoded ROFL packet.
 type Packet struct {
-	Type       Type
-	Flags      uint8
-	TTL        uint8
-	Dst, Src   ident.ID
+	Type     Type
+	Flags    uint8
+	TTL      uint8
+	Dst, Src ident.ID
+	// ReqID correlates a control request with its reply: the requester
+	// picks a locally-unique value, retransmits with the same value, and
+	// the responder echoes it — making retried join/stabilize exchanges
+	// idempotent and letting stale replies be discarded. Zero means
+	// "unsolicited" (data packets, notifications).
+	ReqID      uint64
 	ASRoute    []uint32 // AS-level source route traversed so far
 	Capability []byte   // optional capability token
 	Payload    []byte
 }
 
 // fixed layout: version(1) type(1) flags(1) ttl(1) dst(16) src(16)
-// asRouteLen(1) capLen(2) payloadLen(2)
-const fixedHeaderLen = 4 + 2*ident.Size + 1 + 2 + 2
+// reqID(8) asRouteLen(1) capLen(2) payloadLen(2)
+const fixedHeaderLen = 4 + 2*ident.Size + 8 + 1 + 2 + 2
 
 // Errors returned by DecodeFromBytes.
 var (
@@ -141,6 +147,7 @@ func (p *Packet) AppendTo(dst []byte) ([]byte, error) {
 	dst = append(dst, Version, byte(p.Type), p.Flags, p.TTL)
 	dst = append(dst, p.Dst[:]...)
 	dst = append(dst, p.Src[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, p.ReqID)
 	dst = append(dst, byte(len(p.ASRoute)))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Capability)))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Payload)))
@@ -176,6 +183,8 @@ func (p *Packet) DecodeFromBytes(b []byte) error {
 	copy(p.Dst[:], b[4:4+ident.Size])
 	copy(p.Src[:], b[4+ident.Size:4+2*ident.Size])
 	off := 4 + 2*ident.Size
+	p.ReqID = binary.BigEndian.Uint64(b[off:])
+	off += 8
 	nRoute := int(b[off])
 	off++
 	if nRoute > MaxASRoute {

@@ -17,6 +17,7 @@ func samplePacket() *Packet {
 		TTL:        200,
 		Dst:        ident.FromString("dst"),
 		Src:        ident.FromString("src"),
+		ReqID:      0xdeadbeefcafe,
 		ASRoute:    []uint32{7018, 1239, 3356},
 		Capability: []byte{1, 2, 3},
 		Payload:    []byte("hello flat world"),
@@ -36,7 +37,7 @@ func TestRoundTrip(t *testing.T) {
 	if err := q.DecodeFromBytes(buf); err != nil {
 		t.Fatal(err)
 	}
-	if q.Type != p.Type || q.Flags != p.Flags || q.TTL != p.TTL || q.Dst != p.Dst || q.Src != p.Src {
+	if q.Type != p.Type || q.Flags != p.Flags || q.TTL != p.TTL || q.Dst != p.Dst || q.Src != p.Src || q.ReqID != p.ReqID {
 		t.Fatalf("header mismatch: %+v vs %+v", q, p)
 	}
 	if len(q.ASRoute) != 3 || q.ASRoute[2] != 3356 {
@@ -49,7 +50,7 @@ func TestRoundTrip(t *testing.T) {
 
 func TestRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	f := func(flags, ttl uint8, route []uint32, capab, payload []byte) bool {
+	f := func(flags, ttl uint8, reqID uint64, route []uint32, capab, payload []byte) bool {
 		if len(route) > MaxASRoute {
 			route = route[:MaxASRoute]
 		}
@@ -60,7 +61,7 @@ func TestRoundTripProperty(t *testing.T) {
 			payload = payload[:1000]
 		}
 		p := &Packet{
-			Type: TypeJoinRequest, Flags: flags, TTL: ttl,
+			Type: TypeJoinRequest, Flags: flags, TTL: ttl, ReqID: reqID,
 			Dst: ident.Random(rng), Src: ident.Random(rng),
 			ASRoute: route, Capability: capab, Payload: payload,
 		}
@@ -72,7 +73,7 @@ func TestRoundTripProperty(t *testing.T) {
 		if err := q.DecodeFromBytes(buf); err != nil {
 			return false
 		}
-		if q.Dst != p.Dst || q.Src != p.Src || q.Flags != flags || q.TTL != ttl {
+		if q.Dst != p.Dst || q.Src != p.Src || q.Flags != flags || q.TTL != ttl || q.ReqID != reqID {
 			return false
 		}
 		if len(q.ASRoute) != len(route) {

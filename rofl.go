@@ -8,6 +8,7 @@ import (
 	"rofl/internal/delivery"
 	"rofl/internal/experiments"
 	"rofl/internal/ident"
+	"rofl/internal/netem"
 	"rofl/internal/overlay"
 	"rofl/internal/secure"
 	"rofl/internal/sim"
@@ -265,16 +266,57 @@ func UnmarshalCapability(b []byte) (Capability, error) {
 }
 
 // ---------------------------------------------------------------------------
-// UDP overlay
+// UDP overlay + network emulation
 // ---------------------------------------------------------------------------
 
-// OverlayNode is a ROFL node speaking the wire format over UDP.
+// OverlayNode is a ROFL node speaking the wire format over a datagram
+// transport (real UDP by default).
 type OverlayNode = overlay.Node
 
 // NewOverlayNode binds a node to a UDP address ("127.0.0.1:0" picks a
 // free port).
 func NewOverlayNode(id ID, bind string) (*OverlayNode, error) {
 	return overlay.NewNode(id, bind)
+}
+
+// OverlayTransport is the datagram surface overlay nodes speak through:
+// real UDP, an emulated netem fabric, or a fault-injecting wrapper.
+type OverlayTransport = netem.Transport
+
+// NewOverlayNodeTransport binds a node to an existing transport; the
+// node owns it and closes it on Close.
+func NewOverlayNodeTransport(id ID, tr OverlayTransport) *OverlayNode {
+	return overlay.NewNodeTransport(id, tr)
+}
+
+// ListenUDPTransport binds a real-UDP transport ("127.0.0.1:0" picks a
+// free port).
+func ListenUDPTransport(bind string) (OverlayTransport, error) {
+	return netem.ListenUDP(bind)
+}
+
+// FaultParams configures injected faults: loss/duplication/reorder
+// probabilities, latency, jitter, and bandwidth.
+type FaultParams = netem.LinkParams
+
+// FaultTransport degrades another transport's outbound traffic with a
+// seeded, reproducible fault schedule.
+type FaultTransport = netem.Fault
+
+// WrapFaultTransport applies params to inner's outbound packets, drawing
+// decisions from a RNG seeded with seed.
+func WrapFaultTransport(inner OverlayTransport, params FaultParams, seed int64) *FaultTransport {
+	return netem.WrapFault(inner, params, seed)
+}
+
+// EmulatedNetwork is an in-process datagram fabric with deterministic
+// fault injection — the harness the overlay's chaos tests run on.
+type EmulatedNetwork = netem.Network
+
+// NewEmulatedNetwork creates a fabric whose fault decisions derive from
+// seed.
+func NewEmulatedNetwork(seed int64) *EmulatedNetwork {
+	return netem.NewNetwork(seed)
 }
 
 // ---------------------------------------------------------------------------
