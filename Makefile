@@ -1,0 +1,34 @@
+# Entry points mirroring .github/workflows/ci.yml: what CI gates on,
+# a developer can run locally with make.
+
+GO ?= go
+
+.PHONY: all build test race lint chaos fuzz
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test -shuffle=on ./...
+
+race:
+	$(GO) test -race -shuffle=on ./internal/sim/... ./internal/experiments/... ./internal/vring/...
+	$(GO) test -race -shuffle=on ./internal/netem/... ./internal/overlay/...
+
+# Project invariants (internal/lint). staticcheck and govulncheck run
+# in CI as well but need network access to install; they are skipped
+# here when absent.
+lint:
+	$(GO) run ./cmd/rofllint ./...
+	@command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed; skipping"
+	@command -v govulncheck >/dev/null && govulncheck ./... || echo "govulncheck not installed; skipping"
+
+chaos:
+	$(GO) test -race -run 'TestChaos|TestJoinAndSend|TestJoinSurvives' -count=3 -timeout 15m ./internal/overlay/
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeRoundTrip -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzHandleRequest -fuzztime=10s ./internal/overlay

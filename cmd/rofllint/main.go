@@ -1,0 +1,76 @@
+// Command rofllint runs ROFL's project-specific static-analysis suite
+// over the repository: determinism of the seeded packages, lock
+// discipline in the protocol packages, wire round-trip completeness,
+// and circular (never linear) comparison of flat labels.
+//
+// Usage:
+//
+//	go run ./cmd/rofllint ./...
+//
+// Exit status is 1 if any diagnostic survives (suppressions require an
+// audited //rofllint:ignore directive with a reason), 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rofl/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("l", false, "list analyzers and their scopes, then exit")
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, sa := range suite {
+			fmt.Printf("%-14s %s\n", sa.Analyzer.Name, sa.Analyzer.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rofllint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		for _, sa := range suite {
+			if !sa.Applies(pkg.ImportPath) {
+				continue
+			}
+			ds, err := lint.RunAnalyzer(sa.Analyzer, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rofllint: %v\n", err)
+				os.Exit(2)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rofllint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

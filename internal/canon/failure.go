@@ -220,6 +220,7 @@ func (in *Internet) CheckRings() error {
 		}
 		// Sortedness of the ring storage itself.
 		for i := 1; i < len(ring); i++ {
+			//rofllint:ignore identcmp asserting sorted storage, the documented Less use; the check verifies linear order on purpose
 			if !ring[i-1].ID.Less(ring[i].ID) {
 				return fmt.Errorf("%w: ring %v not sorted at %d", ErrRingBroken, root, i)
 			}

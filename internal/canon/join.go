@@ -273,6 +273,7 @@ func (in *Internet) acquireFingers(vn *VNode, budget int) []Finger {
 		// iteration order.
 		better := !exists || key[0] < cur[0] ||
 			(key[0] == cur[0] && key[1] < cur[1]) ||
+			//rofllint:ignore identcmp documented tie-break: any total order works, both sides of the protocol use this one
 			(key == cur && id.Less(best[k].ID))
 		if better {
 			bestKey[k] = key

@@ -61,6 +61,7 @@ func (in *Internet) RouteFromAS(from topology.ASN, dst ident.ID) (RouteResult, e
 	var pos ident.ID
 	found := false
 	for id := range in.ases[from].VNs {
+		//rofllint:ignore identcmp canonical minimum-ID selection to pick a start position deterministically; not a routing decision
 		if !found || id.Less(pos) {
 			pos, found = id, true
 		}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces that the simulation, experiment, and
+// netem fault-schedule packages stay pure functions of their seeds:
+// experiment tables must be byte-identical for a given seed at any
+// worker count, and the netem fault schedule must be a pure function of
+// the network seed plus the per-link send order. Four nondeterminism
+// channels are forbidden:
+//
+//   - wall-clock reads (time.Now / Since / Until / Sleep / After /
+//     Tick): virtual time comes from the event heap, never the kernel;
+//   - the global math/rand generator (rand.Intn, rand.Float64, ...):
+//     every draw must come from a *rand.Rand seeded from the experiment
+//     or link seed (rand.New / rand.NewSource stay legal — they build
+//     such generators);
+//   - map iteration feeding order-sensitive output (appending to an
+//     outer slice, sending on a channel, charging Metrics.Count/Sample,
+//     printing): Go randomizes map order per run, so iterate a sorted
+//     key slice instead;
+//   - select over multiple ready channels, which the runtime resolves
+//     by coin flip.
+//
+// Wall-clock scheduling that feeds no seeded decision (netem's delivery
+// dispatcher) is suppressed site by site with an audited
+// //rofllint:ignore directive.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clock, global math/rand, map-order-dependent output, and select races in seeded packages",
+	Run:  runDeterminism,
+}
+
+// forbiddenTimeFuncs read or depend on the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+}
+
+// allowedRandFuncs construct seeded generators rather than drawing from
+// the global one.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := pkgFuncCall(pass, n, "time"); ok && forbiddenTimeFuncs[name] {
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock in a seed-deterministic package; derive timing from the seeded schedule", name)
+				}
+				for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+					if name, ok := pkgFuncCall(pass, n, randPath); ok && !allowedRandFuncs[name] {
+						pass.Reportf(n.Pos(), "rand.%s draws from the global math/rand generator; use a *rand.Rand seeded from the experiment or link seed", name)
+					}
+				}
+			case *ast.SelectStmt:
+				if commCount(n) >= 2 {
+					pass.Reportf(n.Pos(), "select over %d channels resolves by runtime coin flip; a seed-deterministic path must have a single wake source", commCount(n))
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// commCount counts a select statement's communication clauses (the
+// default clause excluded).
+func commCount(s *ast.SelectStmt) int {
+	n := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// checkMapRange flags iteration over a map whose body feeds an
+// order-sensitive sink. Order-independent map loops (summing counters,
+// deleting every key, stopping all timers) pass untouched.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration publishes values in randomized map order; iterate a sorted key slice")
+		case *ast.AssignStmt:
+			if sink, ok := appendsToOuter(pass, n, rs); ok {
+				pass.Reportf(n.Pos(), "append to %s inside map iteration records values in randomized map order; iterate a sorted key slice or sort afterwards", sink)
+			}
+		case *ast.CallExpr:
+			if _, name, ok := methodCall(pass, n); ok && (name == "Count" || name == "Sample") {
+				pass.Reportf(n.Pos(), "metrics %s inside map iteration charges observations in randomized map order; iterate a sorted key slice", name)
+			}
+			if name, ok := pkgFuncCall(pass, n, "fmt"); ok && printsOutput(name) {
+				pass.Reportf(n.Pos(), "fmt.%s inside map iteration emits lines in randomized map order; iterate a sorted key slice", name)
+			}
+		}
+		return true
+	})
+}
+
+func printsOutput(name string) bool {
+	switch name {
+	case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+		return true
+	}
+	return false
+}
+
+// appendsToOuter reports whether assign grows a slice declared outside
+// the range statement via append, returning the slice's name.
+func appendsToOuter(pass *Pass, assign *ast.AssignStmt, rs *ast.RangeStmt) (string, bool) {
+	for i, rhs := range assign.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.ObjectOf(fn).(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if i >= len(assign.Lhs) {
+			continue
+		}
+		lhs, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.ObjectOf(lhs)
+		if obj == nil {
+			continue
+		}
+		// Declared outside the loop: the iteration order becomes the
+		// slice's element order.
+		if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+			return lhs.Name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IdentCmpAnalyzer guards the paper's Algorithm 2: flat labels live on a
+// circular namespace, and greedy forwarding must compare clockwise
+// distances (ident.Distance / Between / Progress), never raw byte
+// order. A raw linear comparison looks right in every test whose IDs
+// happen not to straddle the zero point, then misroutes the first
+// packet whose destination wraps — the classic flat-label bug.
+//
+// Outside the ident package the analyzer forbids:
+//
+//   - bytes.Compare / bytes.Equal over ident.ID bytes (use Distance /
+//     Between for routing, == for equality);
+//   - relational operators over string/byte conversions of IDs;
+//   - ID.Cmp / ID.Less calls, unless (a) both operands are clockwise
+//     distances (results of ident.ID.Distance, tracked through local
+//     assignments), or (b) the call sits in a function literal passed
+//     to sort.Search / sort.Slice and friends — the documented
+//     sorted-storage and tie-breaking uses.
+//
+// Anything else needs an audited //rofllint:ignore with the reason the
+// linear order is sound at that site (canonical minimum selection,
+// sortedness assertions).
+var IdentCmpAnalyzer = &Analyzer{
+	Name: "identcmp",
+	Doc:  "forbid raw byte-order comparison of ident.ID outside ident; routing must use circular Distance/Between",
+	Run:  runIdentCmp,
+}
+
+func runIdentCmp(pass *Pass) error {
+	if pass.Pkg.Name() == "ident" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncIdentCmp(pass, fd)
+		}
+		checkRawByteCmp(pass, f)
+	}
+	return nil
+}
+
+// checkRawByteCmp flags bytes.Compare/bytes.Equal over ID bytes and
+// relational operators over converted IDs anywhere in the file.
+func checkRawByteCmp(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name, ok := pkgFuncCall(pass, n, "bytes")
+			if !ok || (name != "Compare" && name != "Equal") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if exprIsIdentIDBytes(pass, arg) {
+					if name == "Equal" {
+						pass.Reportf(n.Pos(), "bytes.Equal over ident.ID bytes; ident.ID is comparable — use ==")
+					} else {
+						pass.Reportf(n.Pos(), "bytes.Compare over ident.ID bytes imposes linear order on the circular namespace; use Distance/Between (or ID.Cmp for sorted storage)")
+					}
+					break
+				}
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if exprIsIdentIDBytes(pass, n.X) || exprIsIdentIDBytes(pass, n.Y) {
+					pass.Reportf(n.Pos(), "relational %s over converted ident.ID bytes imposes linear order on the circular namespace; use Distance/Between", n.Op)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprIsIdentIDBytes reports whether e exposes an ident.ID's raw bytes:
+// id[:], []byte(id[:]), or string(id[:]).
+func exprIsIdentIDBytes(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		return isIdentID(pass.TypeOf(e.X))
+	case *ast.CallExpr: // conversions []byte(...) / string(...)
+		if len(e.Args) != 1 {
+			return false
+		}
+		if tv, ok := pass.Info.Types[e.Fun]; !ok || !tv.IsType() {
+			return false
+		}
+		return exprIsIdentIDBytes(pass, e.Args[0])
+	case *ast.ParenExpr:
+		return exprIsIdentIDBytes(pass, e.X)
+	}
+	return false
+}
+
+// checkFuncIdentCmp flags Cmp/Less calls on ident.ID within one function
+// (closures included — they share the function's locals).
+func checkFuncIdentCmp(pass *Pass, fd *ast.FuncDecl) {
+	distVars := distanceVars(pass, fd.Body)
+	sorted := sortedContexts(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := methodCall(pass, call)
+		if !ok || (name != "Cmp" && name != "Less") {
+			return true
+		}
+		if !isIdentID(pass.TypeOf(recv)) {
+			return true
+		}
+		if inRanges(call, sorted) {
+			return true
+		}
+		if len(call.Args) == 1 && isDistanceExpr(pass, recv, distVars) && isDistanceExpr(pass, call.Args[0], distVars) {
+			return true // comparing clockwise distances is the metric itself
+		}
+		pass.Reportf(call.Pos(), "linear %s on ident.ID ignores the circular namespace; compare clockwise distances (Distance/Between, Algorithm 2), move into a sort callback, or annotate a documented tie-break", name)
+		return true
+	})
+}
+
+// sortedContexts returns the source ranges of function literals passed
+// to sort/slices ordering helpers, where linear comparison is the
+// documented sorted-storage use.
+func sortedContexts(pass *Pass, body *ast.BlockStmt) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		isSortCall := false
+		for _, pkg := range []string{"sort", "slices"} {
+			if _, ok := pkgFuncCall(pass, call, pkg); ok {
+				isSortCall = true
+				break
+			}
+		}
+		if !isSortCall {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				out = append(out, lit)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func inRanges(node ast.Node, ranges []ast.Node) bool {
+	for _, r := range ranges {
+		if enclosesPos(r, node) {
+			return true
+		}
+	}
+	return false
+}
+
+// distanceVars computes, to a fixed point, the local variables holding
+// clockwise distances: assigned from ident.ID.Distance calls or from
+// other distance variables (tuple assignments pair element-wise).
+func distanceVars(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	dist := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if !isDistanceExpr(pass, rhs, dist) {
+					continue
+				}
+				lhs, ok := assign.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(lhs)
+				if obj != nil && !dist[obj] {
+					dist[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return dist
+}
+
+// isDistanceExpr reports whether e is a clockwise distance: a direct
+// X.Distance(Y) call on ident.ID, or a variable tracked as holding one.
+func isDistanceExpr(pass *Pass, e ast.Expr, dist map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return isDistanceExpr(pass, e.X, dist)
+	case *ast.CallExpr:
+		recv, name, ok := methodCall(pass, e)
+		return ok && name == "Distance" && isIdentID(pass.TypeOf(recv))
+	case *ast.Ident:
+		obj := pass.ObjectOf(e)
+		return obj != nil && dist[obj]
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T)  { RunTest(t, DeterminismAnalyzer) }
+func TestLockOrder(t *testing.T)    { RunTest(t, LockOrderAnalyzer) }
+func TestWireComplete(t *testing.T) { RunTest(t, WireCompleteAnalyzer) }
+func TestIdentCmp(t *testing.T)     { RunTest(t, IdentCmpAnalyzer) }
+
+// A suppression without a reason is itself a diagnostic: suppressions
+// stay audited.
+func TestDirectiveRequiresReason(t *testing.T) {
+	src := `package p
+
+func f() {
+	//rofllint:ignore determinism
+	_ = 1
+	//rofllint:ignore determinism,lockorder the schedule is wall-clock by design
+	_ = 2
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, bad := parseDirectives(fset, []*ast.File{f})
+	if len(bad) != 1 {
+		t.Fatalf("want 1 malformed-directive diagnostic, got %d: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, "without a reason") {
+		t.Errorf("unexpected message: %s", bad[0].Message)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("want 1 well-formed directive, got %d", len(dirs))
+	}
+	if !dirs[0].analyzers["determinism"] || !dirs[0].analyzers["lockorder"] {
+		t.Errorf("directive should cover both analyzers: %v", dirs[0].analyzers)
+	}
+}
+
+// The suite's scopes must route each analyzer to its packages.
+func TestSuiteScopes(t *testing.T) {
+	byName := map[string]ScopedAnalyzer{}
+	for _, sa := range Suite() {
+		byName[sa.Analyzer.Name] = sa
+	}
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		{"determinism", "rofl/internal/sim", true},
+		{"determinism", "rofl/internal/netem", true},
+		{"determinism", "rofl/internal/overlay", false},
+		{"lockorder", "rofl/internal/overlay", true},
+		{"lockorder", "rofl/internal/vring", true},
+		{"lockorder", "rofl/internal/sim", false},
+		{"wirecomplete", "rofl/internal/wire", true},
+		{"wirecomplete", "rofl/internal/canon", true},
+		{"identcmp", "rofl/internal/ident", false},
+		{"identcmp", "rofl/internal/canon", true},
+	}
+	for _, c := range cases {
+		sa, ok := byName[c.analyzer]
+		if !ok {
+			t.Fatalf("suite is missing analyzer %s", c.analyzer)
+		}
+		if got := sa.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%s) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}

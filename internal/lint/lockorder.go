@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrderAnalyzer flags blocking operations performed while a mutex is
+// held in the concurrent protocol packages (overlay, vring). The overlay
+// convention — shared by every handler — is: lock, read or mutate ring
+// state, unlock, then perform I/O. Holding n.mu across a transport send,
+// a channel operation, or a sleep couples every other handler's latency
+// to the slow path and can deadlock against the read loop feeding the
+// same node.
+//
+// Blocking operations are: channel send/receive outside a select with a
+// default clause, select without a default clause, time.Sleep,
+// sync.WaitGroup.Wait / sync.Cond.Wait, Send/Recv calls on
+// interface-typed receivers (the netem.Transport surface), and calls to
+// same-package functions that (transitively) do any of the above.
+//
+// The analysis is per function body; each function literal is scanned as
+// its own unit with no locks held (a closure runs on its own schedule).
+// Defers are skipped: `defer mu.Unlock()` releases at return and must
+// not be mistaken for an early release.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "forbid blocking operations (transport I/O, channel ops, sleeps) while a mutex is held",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	blocking := blockingFuncs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				scanLockRegions(pass, fd.Body, blocking)
+			}
+		}
+	}
+	return nil
+}
+
+// --- Blocking-function inference -----------------------------------------
+
+// blockingFuncs computes the set of same-package functions that may
+// block, to a fixed point: a function blocks if its body contains a
+// blocking primitive or a call to another blocking function.
+func blockingFuncs(pass *Pass) map[*types.Func]bool {
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				bodies[obj] = fd.Body
+			}
+		}
+	}
+	blocking := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, body := range bodies {
+			if blocking[fn] {
+				continue
+			}
+			if bodyBlocks(pass, body, blocking) {
+				blocking[fn] = true
+				changed = true
+			}
+		}
+	}
+	return blocking
+}
+
+// bodyBlocks reports whether body contains a blocking primitive or a
+// call to a known-blocking function, ignoring nested function literals
+// (they run on their own goroutine or schedule, not inline).
+func bodyBlocks(pass *Pass, body *ast.BlockStmt, blocking map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if !hasDefaultClause(n) {
+				found = true
+			}
+			return true // a select with default is non-blocking as a unit
+		case *ast.SendStmt:
+			if !insideNonblockingSelect(pass, body, n) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !insideNonblockingSelect(pass, body, n) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if _, reason := blockingCall(pass, n, blocking); reason != "" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// blockingCall classifies a call expression, returning a human-readable
+// description of why it blocks (empty if it does not).
+func blockingCall(pass *Pass, call *ast.CallExpr, blocking map[*types.Func]bool) (ast.Node, string) {
+	if name, ok := pkgFuncCall(pass, call, "time"); ok && name == "Sleep" {
+		return call, "time.Sleep"
+	}
+	if recv, name, ok := methodCall(pass, call); ok {
+		rt := pass.TypeOf(recv)
+		if rt != nil {
+			if name == "Wait" && isSyncWaiter(rt) {
+				return call, "sync " + typeShort(rt) + ".Wait"
+			}
+			// Transport I/O: Send/Recv on an interface value. Concrete
+			// same-package methods are covered by the call graph below.
+			if _, isIface := rt.Underlying().(*types.Interface); isIface && (name == "Send" || name == "Recv") {
+				return call, "interface method " + name + " (transport I/O)"
+			}
+		}
+	}
+	// Same-package call to a function known to block.
+	if callee := staticCallee(pass, call); callee != nil && callee.Pkg() == pass.Pkg && blocking[callee] {
+		return call, "call to blocking " + callee.Name()
+	}
+	return nil, ""
+}
+
+// staticCallee resolves a call to its *types.Func when the callee is a
+// statically known function or method, else nil.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.ObjectOf(fun).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isSyncWaiter(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "WaitGroup" || n.Obj().Name() == "Cond"
+}
+
+func typeShort(t types.Type) string {
+	if n := namedType(t); n != nil {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// hasDefaultClause reports whether a select has a default branch (making
+// it a non-blocking poll).
+func hasDefaultClause(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// insideNonblockingSelect reports whether node sits in the comm clause
+// of a select that has a default branch, within root.
+func insideNonblockingSelect(pass *Pass, root ast.Node, node ast.Node) bool {
+	inside := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if inside {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok && hasDefaultClause(sel) {
+			for _, c := range sel.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if enclosesPos(cc.Comm, node) {
+					inside = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return inside
+}
+
+// --- Held-region tracking -------------------------------------------------
+
+// lockSet is the set of mutexes held at a program point, keyed by the
+// source rendering of the lock expression ("n.mu").
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s lockSet) any() string {
+	for k := range s {
+		return k
+	}
+	return ""
+}
+
+// scanLockRegions walks a function body tracking which mutexes are held
+// and reporting blocking operations inside held regions. Nested function
+// literals are scanned as independent units.
+func scanLockRegions(pass *Pass, body *ast.BlockStmt, blocking map[*types.Func]bool) {
+	walkStmts(pass, body.List, lockSet{}, blocking)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			walkStmts(pass, lit.Body.List, lockSet{}, blocking)
+			return false
+		}
+		return true
+	})
+}
+
+// walkStmts interprets a statement list, returning the lock set at fall-
+// through and whether the list always terminates (returns/branches).
+func walkStmts(pass *Pass, stmts []ast.Stmt, held lockSet, blocking map[*types.Func]bool) (lockSet, bool) {
+	held = held.clone()
+	for _, stmt := range stmts {
+		var terminated bool
+		held, terminated = walkStmt(pass, stmt, held, blocking)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func walkStmt(pass *Pass, stmt ast.Stmt, held lockSet, blocking map[*types.Func]bool) (lockSet, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if lock, op, ok := lockOp(pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held = held.clone()
+				held[lock] = true
+			case "Unlock", "RUnlock":
+				held = held.clone()
+				delete(held, lock)
+			}
+			return held, false
+		}
+		reportIfBlocking(pass, s.X, held, blocking)
+		return held, false
+	case *ast.DeferStmt:
+		// Deferred unlocks release at return; deferred bodies run after
+		// the region of interest. Skip both.
+		return held, false
+	case *ast.GoStmt:
+		return held, false
+	case *ast.ReturnStmt:
+		checkExprs(pass, held, blocking, s.Results...)
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.AssignStmt:
+		checkExprs(pass, held, blocking, s.Rhs...)
+		checkExprs(pass, held, blocking, s.Lhs...)
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					checkExprs(pass, held, blocking, vs.Values...)
+				}
+			}
+		}
+		return held, false
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(s.Pos(), "channel send while holding %s; release the lock before communicating", held.any())
+		}
+		return held, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = walkStmt(pass, s.Init, held, blocking)
+		}
+		checkExprs(pass, held, blocking, s.Cond)
+		thenOut, thenTerm := walkStmts(pass, s.Body.List, held, blocking)
+		elseOut, elseTerm := held, false
+		if s.Else != nil {
+			elseOut, elseTerm = walkStmt(pass, s.Else, held, blocking)
+		}
+		return mergeBranches(thenOut, thenTerm, elseOut, elseTerm)
+	case *ast.BlockStmt:
+		return walkStmts(pass, s.List, held, blocking)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = walkStmt(pass, s.Init, held, blocking)
+		}
+		if s.Cond != nil {
+			checkExprs(pass, held, blocking, s.Cond)
+		}
+		walkStmts(pass, s.Body.List, held, blocking)
+		return held, false
+	case *ast.RangeStmt:
+		checkExprs(pass, held, blocking, s.X)
+		walkStmts(pass, s.Body.List, held, blocking)
+		return held, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = walkStmt(pass, s.Init, held, blocking)
+		}
+		if s.Tag != nil {
+			checkExprs(pass, held, blocking, s.Tag)
+		}
+		walkCaseClauses(pass, s.Body, held, blocking)
+		return held, false
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = walkStmt(pass, s.Init, held, blocking)
+		}
+		walkCaseClauses(pass, s.Body, held, blocking)
+		return held, false
+	case *ast.SelectStmt:
+		if !hasDefaultClause(s) && len(held) > 0 {
+			pass.Reportf(s.Pos(), "blocking select while holding %s; release the lock before waiting", held.any())
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkStmts(pass, cc.Body, held, blocking)
+			}
+		}
+		return held, false
+	case *ast.LabeledStmt:
+		return walkStmt(pass, s.Stmt, held, blocking)
+	default:
+		return held, false
+	}
+}
+
+// walkCaseClauses scans every case body of a switch from the same entry
+// lock set; switches are used for dispatch, not lock management, so the
+// fall-through state is the entry state.
+func walkCaseClauses(pass *Pass, body *ast.BlockStmt, held lockSet, blocking map[*types.Func]bool) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			checkExprs(pass, held, blocking, cc.List...)
+			walkStmts(pass, cc.Body, held, blocking)
+		}
+	}
+}
+
+// mergeBranches joins the lock sets of an if/else: a branch that always
+// terminates contributes nothing to fall-through state.
+func mergeBranches(a lockSet, aTerm bool, b lockSet, bTerm bool) (lockSet, bool) {
+	switch {
+	case aTerm && bTerm:
+		return a, true
+	case aTerm:
+		return b, false
+	case bTerm:
+		return a, false
+	default:
+		out := a.clone()
+		for k := range b {
+			out[k] = true
+		}
+		return out, false
+	}
+}
+
+// checkExprs reports blocking operations appearing inside expressions
+// (receives, blocking calls) while locks are held.
+func checkExprs(pass *Pass, held lockSet, blocking map[*types.Func]bool, exprs ...ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		reportIfBlocking(pass, e, held, blocking)
+	}
+}
+
+func reportIfBlocking(pass *Pass, e ast.Expr, held lockSet, blocking map[*types.Func]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while holding %s; release the lock before waiting", held.any())
+			}
+		case *ast.CallExpr:
+			if _, reason := blockingCall(pass, n, blocking); reason != "" {
+				pass.Reportf(n.Pos(), "%s while holding %s; release the lock before blocking", reason, held.any())
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock()/Unlock()/RLock()/RUnlock() calls on
+// sync.Mutex or sync.RWMutex values, returning the lock's source
+// rendering and the operation.
+func lockOp(pass *Pass, e ast.Expr) (lock, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	recv, name, isMethod := methodCall(pass, call)
+	if !isMethod {
+		return "", "", false
+	}
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	rt := pass.TypeOf(recv)
+	n := namedType(rt)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(recv), name, true
+}

@@ -1,0 +1,131 @@
+// Package determinism is the golden corpus for the determinism
+// analyzer: seeded packages must be pure functions of their seeds.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// --- Wall clock -----------------------------------------------------------
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// A suppressed wall-clock read: the directive carries a reason, so no
+// diagnostic survives.
+func suppressedStamp() int64 {
+	//rofllint:ignore determinism wall clock feeds only the progress log, never a seeded decision
+	return time.Now().UnixNano()
+}
+
+// Virtual time arithmetic is fine: no clock read.
+func virtual(now time.Duration, d time.Duration) time.Duration {
+	return now + d
+}
+
+// --- Global math/rand -----------------------------------------------------
+
+func draw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global math/rand generator"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the global math/rand generator"
+}
+
+// Building a seeded generator is the sanctioned path.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// --- Map iteration feeding ordered output ---------------------------------
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+func publish(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+type metrics struct{}
+
+func (metrics) Count(name string, n int)       {}
+func (metrics) Sample(name string, v float64)  {}
+func (metrics) Observe(name string, v float64) {}
+
+func charge(m map[string]int, mx metrics) {
+	for k, v := range m {
+		mx.Count(k, v) // want "metrics Count inside map iteration"
+	}
+}
+
+func report(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "fmt.Println inside map iteration"
+	}
+}
+
+// Order-independent map loops pass: sums, deletes, local appends.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func localPerKey(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// --- Select races ---------------------------------------------------------
+
+func race(a, b chan int) int {
+	select { // want "select over 2 channels resolves by runtime coin flip"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// A single wake source is deterministic.
+func wait(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}

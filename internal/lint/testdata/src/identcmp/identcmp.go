@@ -1,0 +1,76 @@
+// Package identcmp is the golden corpus for the identcmp analyzer:
+// flat labels live on a circle, so raw linear comparison is forbidden
+// outside documented tie-breaks and sorted storage.
+package identcmp
+
+import (
+	"bytes"
+	"sort"
+
+	"rofl/internal/ident"
+)
+
+// --- Raw byte-order comparison --------------------------------------------
+
+func rawCompare(a, b ident.ID) bool {
+	return bytes.Compare(a[:], b[:]) < 0 // want "bytes.Compare over ident.ID bytes"
+}
+
+func rawEqual(a, b ident.ID) bool {
+	return bytes.Equal(a[:], b[:]) // want "bytes.Equal over ident.ID bytes"
+}
+
+func stringOrder(a, b ident.ID) bool {
+	return string(a[:]) < string(b[:]) // want "relational < over converted ident.ID bytes"
+}
+
+func bareLess(a, b ident.ID) bool {
+	return a.Less(b) // want "linear Less on ident.ID ignores the circular namespace"
+}
+
+func bareCmp(a, b ident.ID) int {
+	return a.Cmp(b) // want "linear Cmp on ident.ID ignores the circular namespace"
+}
+
+// --- Legal forms ----------------------------------------------------------
+
+// Comparing clockwise distances is the routing metric itself; the
+// dataflow tracks distances through local assignments.
+func improves(cur, cand, target ident.ID) bool {
+	best := cur.Distance(target)
+	d := cand.Distance(target)
+	return d.Less(best)
+}
+
+// Direct distance-call comparison, no intermediate variables.
+func improvesInline(cur, cand, target ident.ID) bool {
+	return cand.Distance(target).Less(cur.Distance(target))
+}
+
+// Sorted storage: linear order inside a sort callback is the documented
+// use.
+func sortIDs(ids []ident.ID) {
+	sort.Slice(ids, func(i, j int) bool {
+		return ids[i].Less(ids[j])
+	})
+}
+
+func searchIDs(ids []ident.ID, want ident.ID) int {
+	return sort.Search(len(ids), func(i int) bool {
+		return !ids[i].Less(want)
+	})
+}
+
+// Equality is direction-free and always legal.
+func same(a, b ident.ID) bool {
+	return a == b
+}
+
+// An audited tie-break survives with a reasoned directive.
+func minMember(a, b ident.ID) ident.ID {
+	//rofllint:ignore identcmp canonical minimum-ID selection; any total order works and both sides use this one
+	if a.Less(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+// Package lockorder is the golden corpus for the lockorder analyzer:
+// no blocking operation while a mutex is held.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+type transport interface {
+	Send(b []byte) error
+	Recv() ([]byte, error)
+}
+
+type node struct {
+	mu    sync.Mutex
+	state int
+	tr    transport
+	ch    chan int
+}
+
+// --- Blocking while locked ------------------------------------------------
+
+func (n *node) sleepHeld() {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding n.mu"
+	n.mu.Unlock()
+}
+
+func (n *node) sendHeld() {
+	n.mu.Lock()
+	n.ch <- n.state // want "channel send while holding n.mu"
+	n.mu.Unlock()
+}
+
+func (n *node) recvHeld() int {
+	n.mu.Lock()
+	v := <-n.ch // want "channel receive while holding n.mu"
+	n.mu.Unlock()
+	return v
+}
+
+func (n *node) transportHeld() {
+	n.mu.Lock()
+	n.tr.Send(nil) // want "interface method Send .transport I/O. while holding n.mu"
+	n.mu.Unlock()
+}
+
+func (n *node) selectHeld() {
+	n.mu.Lock()
+	select { // want "blocking select while holding n.mu"
+	case <-n.ch:
+	}
+	n.mu.Unlock()
+}
+
+func blocksTransitively(d time.Duration) {
+	time.Sleep(d)
+}
+
+func (n *node) transitiveHeld() {
+	n.mu.Lock()
+	blocksTransitively(0) // want "call to blocking blocksTransitively while holding n.mu"
+	n.mu.Unlock()
+}
+
+func (n *node) waitGroupHeld(wg *sync.WaitGroup) {
+	n.mu.Lock()
+	wg.Wait() // want "sync WaitGroup.Wait while holding n.mu"
+	n.mu.Unlock()
+}
+
+// --- The sanctioned pattern: lock, compute, unlock, then I/O --------------
+
+func (n *node) computeThenSend() {
+	n.mu.Lock()
+	v := n.state
+	n.state++
+	n.mu.Unlock()
+	n.ch <- v
+	n.tr.Send(nil)
+}
+
+// A non-blocking poll (select with default) is fine under the lock.
+func (n *node) pollHeld() {
+	n.mu.Lock()
+	select {
+	case n.ch <- n.state:
+	default:
+	}
+	n.mu.Unlock()
+}
+
+// Spawning a goroutine that blocks is fine: the closure runs on its own
+// schedule with no lock held.
+func (n *node) spawnHeld() {
+	n.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		n.ch <- 1
+	}()
+	n.mu.Unlock()
+}
+
+// A branch that unlocks and returns must not leak its lock state into
+// the fall-through path.
+func (n *node) earlyExit(bad bool) {
+	n.mu.Lock()
+	if bad {
+		n.mu.Unlock()
+		return
+	}
+	n.state++
+	n.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// Deferred unlock holds the lock to return: non-blocking bodies only.
+func (n *node) deferred() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}

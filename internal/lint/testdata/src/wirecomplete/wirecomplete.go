@@ -1,0 +1,60 @@
+// Package wirecomplete is the golden corpus for the wirecomplete
+// analyzer: wire message structs must round-trip every field, and must
+// not be built with unkeyed literals.
+package wirecomplete
+
+// Msg forgets fields on both sides of the round trip.
+type Msg struct {
+	A byte
+	B byte // want "field B is never read back by decoder DecodeFromBytes"
+	C byte // want "field C is never written by encoder AppendTo"
+}
+
+func (m *Msg) AppendTo(b []byte) []byte {
+	return append(b, m.A, m.B)
+}
+
+func (m *Msg) DecodeFromBytes(b []byte) error {
+	m.A = b[0]
+	m.C = b[1]
+	return nil
+}
+
+// Good round-trips every field; Marshal may delegate without mentioning
+// any field because coverage is the union over all encoder bodies.
+type Good struct {
+	X uint16
+	Y []byte
+}
+
+func (g *Good) AppendTo(b []byte) []byte {
+	b = append(b, byte(g.X>>8), byte(g.X))
+	return append(b, g.Y...)
+}
+
+func (g *Good) Marshal() []byte {
+	return g.AppendTo(nil)
+}
+
+func (g *Good) DecodeFromBytes(b []byte) error {
+	g.X = uint16(b[0])<<8 | uint16(b[1])
+	g.Y = append(g.Y[:0], b[2:]...)
+	return nil
+}
+
+// --- Composite literals ---------------------------------------------------
+
+func build() Good {
+	return Good{1, nil} // want "unkeyed composite literal of wire type Good"
+}
+
+func buildKeyed() Good {
+	return Good{X: 1}
+}
+
+// point is not a wire message; positional literals are allowed.
+type point struct{ x, y int }
+
+func origin() point {
+	return point{0, 0}
+}

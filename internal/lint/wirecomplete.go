@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// WireCompleteAnalyzer enforces round-trip completeness of the wire
+// format: every field of a wire message struct must be written by its
+// encoder and read by its decoder. A field added to wire.Packet but
+// forgotten in AppendTo silently truncates the protocol; forgotten in
+// DecodeFromBytes it silently reads as the zero value on one side of
+// every exchange — exactly the bug class a fuzzer only finds when the
+// missing field happens to matter.
+//
+// A struct is a wire message if it is declared in a package named "wire"
+// or carries both an encoder method (AppendTo, SerializeTo, Marshal,
+// MarshalBinary, Encode) and a decoder method (DecodeFromBytes,
+// UnmarshalBinary, Decode). Field coverage is the union over all
+// encoder (resp. decoder) bodies, so Marshal delegating to AppendTo is
+// fine.
+//
+// The analyzer also forbids unkeyed composite literals of wire types
+// anywhere in the tree: positional literals silently reshuffle field
+// meanings when the message layout evolves.
+var WireCompleteAnalyzer = &Analyzer{
+	Name: "wirecomplete",
+	Doc:  "wire message structs must round-trip every field, and must not be built with unkeyed literals",
+	Run:  runWireComplete,
+}
+
+var encoderNames = map[string]bool{
+	"AppendTo": true, "SerializeTo": true, "Marshal": true,
+	"MarshalBinary": true, "Encode": true, "EncodeTo": true,
+}
+
+var decoderNames = map[string]bool{
+	"DecodeFromBytes": true, "UnmarshalBinary": true,
+	"Decode": true, "DecodeFrom": true,
+}
+
+func runWireComplete(pass *Pass) error {
+	checkRoundTrip(pass)
+	checkUnkeyedLiterals(pass)
+	return nil
+}
+
+// --- Round-trip completeness ----------------------------------------------
+
+// methodsByType groups this package's method declarations by receiver
+// base type name.
+func methodsByType(pass *Pass) map[string][]*ast.FuncDecl {
+	out := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			name := receiverTypeName(fd.Recv.List[0].Type)
+			if name != "" {
+				out[name] = append(out[name], fd)
+			}
+		}
+	}
+	return out
+}
+
+func receiverTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+func checkRoundTrip(pass *Pass) {
+	methods := methodsByType(pass)
+	for typeName, decls := range methods {
+		var encoders, decoders []*ast.FuncDecl
+		for _, fd := range decls {
+			if encoderNames[fd.Name.Name] {
+				encoders = append(encoders, fd)
+			}
+			if decoderNames[fd.Name.Name] {
+				decoders = append(decoders, fd)
+			}
+		}
+		if len(encoders) == 0 || len(decoders) == 0 {
+			continue
+		}
+		obj, ok := pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		encoded := fieldsMentioned(pass, encoders)
+		decoded := fieldsMentioned(pass, decoders)
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !encoded[field.Name()] {
+				pass.Reportf(field.Pos(), "wire message %s: field %s is never written by encoder %s; the wire format silently drops it",
+					typeName, field.Name(), methodNameList(encoders))
+			}
+			if !decoded[field.Name()] {
+				pass.Reportf(field.Pos(), "wire message %s: field %s is never read back by decoder %s; it decodes as the zero value",
+					typeName, field.Name(), methodNameList(decoders))
+			}
+		}
+	}
+}
+
+// fieldsMentioned collects the receiver field names referenced anywhere
+// in the given method bodies (union).
+func fieldsMentioned(pass *Pass, decls []*ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	for _, fd := range decls {
+		recvIdent := receiverIdent(fd)
+		if recvIdent == nil {
+			continue
+		}
+		recvObj := pass.Info.Defs[recvIdent]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok || pass.ObjectOf(base) != recvObj {
+				return true
+			}
+			// Only count struct fields, not method calls on the receiver.
+			if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				out[sel.Sel.Name] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func receiverIdent(fd *ast.FuncDecl) *ast.Ident {
+	names := fd.Recv.List[0].Names
+	if len(names) != 1 {
+		return nil
+	}
+	return names[0]
+}
+
+func methodNameList(decls []*ast.FuncDecl) string {
+	names := make([]string, 0, len(decls))
+	for _, fd := range decls {
+		names = append(names, fd.Name.Name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "/"
+		}
+		out += n
+	}
+	return out
+}
+
+// --- Unkeyed composite literals -------------------------------------------
+
+func checkUnkeyedLiterals(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+				return true
+			}
+			named := namedType(pass.TypeOf(lit))
+			if named == nil {
+				return true
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			if isWireMessageType(named) {
+				pass.Reportf(lit.Pos(), "unkeyed composite literal of wire type %s; positional fields silently reshuffle when the message layout evolves",
+					named.Obj().Name())
+			}
+			return true
+		})
+	}
+}
+
+// isWireMessageType reports whether named is a wire message: declared in
+// a package named "wire", or carrying both encoder and decoder methods.
+func isWireMessageType(named *types.Named) bool {
+	if pkg := named.Obj().Pkg(); pkg != nil && pkg.Name() == "wire" {
+		return true
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	hasEnc, hasDec := false, false
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		if encoderNames[name] {
+			hasEnc = true
+		}
+		if decoderNames[name] {
+			hasDec = true
+		}
+	}
+	return hasEnc && hasDec
+}

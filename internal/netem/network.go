@@ -99,6 +99,7 @@ func (n *Network) dispatch() {
 		}
 		if n.queue.Len() == 0 {
 			n.mu.Unlock()
+			//rofllint:ignore determinism dispatcher wake vs shutdown; packet fates are already drawn from the link seed, only wall-clock delivery jitter varies
 			select {
 			case <-n.wake:
 				continue
@@ -106,11 +107,13 @@ func (n *Network) dispatch() {
 				return
 			}
 		}
+		//rofllint:ignore determinism delivery runs on the wall clock by design; fates and delays were drawn from the seeded rng at send time
 		now := time.Now()
 		next := n.queue.peek()
 		if next.due.After(now) {
 			n.mu.Unlock()
 			t := time.NewTimer(next.due.Sub(now))
+			//rofllint:ignore determinism timer vs wake vs shutdown; whichever fires first re-checks the seeded queue, no fate depends on the winner
 			select {
 			case <-t.C:
 			case <-n.wake: // an earlier packet may have been scheduled
@@ -214,6 +217,7 @@ func (n *Network) Close() error {
 	n.queue = nil
 	eps := make([]*Endpoint, 0, len(n.eps))
 	for _, e := range n.eps {
+		//rofllint:ignore determinism teardown closes every endpoint exactly once; close order is unobservable
 		eps = append(eps, e)
 	}
 	n.mu.Unlock()
@@ -333,6 +337,7 @@ func (e *Endpoint) Send(addr string, p []byte) error {
 	if l.override != nil {
 		params = *l.override
 	}
+	//rofllint:ignore determinism wall clock is only the delivery base time; every fate draw comes from the per-link seeded rng
 	now := time.Now()
 	delays, stats := plan(l.rng, params, len(p), now, &l.busyUntil)
 	l.stats.add(stats)
@@ -359,6 +364,7 @@ func (e *Endpoint) Send(addr string, p []byte) error {
 
 // Recv blocks until a datagram arrives or the endpoint closes.
 func (e *Endpoint) Recv() ([]byte, string, error) {
+	//rofllint:ignore determinism arrival vs close is an inherent race of the transport surface; the nested drain keeps delivery lossless either way
 	select {
 	case d := <-e.inbox:
 		return d.payload, d.from, nil
