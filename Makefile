@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos fuzz
+.PHONY: all build test race lint chaos fuzz bench bench-compare
 
 all: build test lint
 
@@ -32,3 +32,16 @@ chaos:
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRoundTrip -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzHandleRequest -fuzztime=10s ./internal/overlay
+
+# Benchmark trajectory (cmd/roflbench). `make bench` records the
+# hot-path suite into BENCH_ci.json; `make bench-compare` then diffs it
+# against the committed baseline and fails on >15% ns/op regressions.
+# Override BENCH_LABEL / BENCH_BASELINE to record against another point.
+BENCH_LABEL ?= ci
+BENCH_BASELINE ?= BENCH_pr6.json
+
+bench:
+	$(GO) run ./cmd/roflbench run -label $(BENCH_LABEL) -benchtime 500ms -o BENCH_$(BENCH_LABEL).json
+
+bench-compare: bench
+	$(GO) run ./cmd/roflbench compare -threshold 0.15 $(BENCH_BASELINE) BENCH_$(BENCH_LABEL).json

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"rofl"
+	"rofl/internal/ident"
+	"rofl/internal/wire"
 )
 
 // benchConfig sizes the figure drivers for benchmarking: large enough
@@ -203,6 +205,37 @@ func BenchmarkInterRoute(b *testing.B) {
 			continue
 		}
 		if _, err := in.Route(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Forwarding hot-path micro-benchmarks ---------------------------------
+//
+// These mirror the per-packet costs the live overlay pays on every hop;
+// cmd/roflbench records them (with the per-package suites under
+// internal/) into the BENCH_*.json perf trajectory.
+
+// BenchmarkWirePacketRoundTrip measures one encode+decode of a typical
+// data packet — the serialization work bracketing every forwarded hop.
+func BenchmarkWirePacketRoundTrip(b *testing.B) {
+	pkt := &wire.Packet{
+		Type:    wire.TypeData,
+		TTL:     wire.DefaultTTL,
+		Dst:     ident.FromString("bench-dst"),
+		Src:     ident.FromString("bench-src"),
+		ASRoute: []uint32{7018, 1239, 3356},
+		Payload: make([]byte, 256),
+	}
+	buf := make([]byte, 0, pkt.EncodedLen())
+	var dec wire.Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := pkt.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.DecodeFromBytes(out); err != nil {
 			b.Fatal(err)
 		}
 	}

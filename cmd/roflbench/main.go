@@ -1,0 +1,181 @@
+// Command roflbench records and compares the repository's performance
+// trajectory. It wraps `go test -bench` so every speed claim in a PR is
+// backed by a committed BENCH_<label>.json file instead of a number in
+// a commit message, and so CI can diff each push against the committed
+// baseline.
+//
+// Subcommands:
+//
+//	roflbench run -label L [-o BENCH_L.json] [-bench RE] [-benchtime 500ms]
+//	              [-count 1] [-timeout 20m] [pkg ...]
+//	    Run the benchmark suite (default: the hot-path packages — wire,
+//	    vring, overlay, ident) and write the parsed trajectory. Pass
+//	    explicit package patterns (e.g. `.` for the figure-level suite
+//	    in bench_test.go) to measure something else.
+//
+//	roflbench compare [-threshold 0.15] OLD.json NEW.json
+//	    Diff two trajectories; exits 1 when any benchmark's ns/op
+//	    regressed beyond the threshold.
+//
+//	roflbench export FILE.json
+//	    Print the trajectory in the canonical Go benchmark text format;
+//	    two exported files feed straight into benchstat.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"rofl/internal/bench"
+)
+
+// hotPathPkgs is the default benchmark surface: the packages on the
+// forwarding hot path, all fast enough for CI.
+var hotPathPkgs = []string{
+	"./internal/wire",
+	"./internal/vring",
+	"./internal/overlay",
+	"./internal/ident",
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "roflbench: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roflbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  roflbench run -label L [-o FILE] [-bench RE] [-benchtime D] [-count N] [-timeout D] [pkg ...]
+  roflbench compare [-threshold F] OLD.json NEW.json
+  roflbench export FILE.json
+`)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	label := fs.String("label", "", "trajectory label (required; output defaults to BENCH_<label>.json)")
+	out := fs.String("o", "", "output file (default BENCH_<label>.json)")
+	benchRE := fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := fs.String("benchtime", "500ms", "go test -benchtime value (fixed for comparable runs)")
+	count := fs.Int("count", 1, "go test -count value")
+	timeout := fs.Duration("timeout", 20*time.Minute, "go test -timeout value")
+	fs.Parse(args)
+	if *label == "" {
+		return fmt.Errorf("run: -label is required")
+	}
+	if *out == "" {
+		*out = "BENCH_" + *label + ".json"
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = hotPathPkgs
+	}
+
+	cmdArgs := []string{
+		"test", "-run", "^$",
+		"-bench", *benchRE,
+		"-benchtime", *benchtime,
+		"-count", fmt.Sprint(*count),
+		"-timeout", timeout.String(),
+	}
+	cmdArgs = append(cmdArgs, pkgs...)
+	fmt.Fprintf(os.Stderr, "roflbench: go %v\n", cmdArgs)
+	cmd := exec.Command("go", cmdArgs...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(stdout.Bytes())
+		return fmt.Errorf("run: go test: %w", err)
+	}
+
+	results, host, err := bench.Parse(&stdout)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("run: no benchmark results matched %q in %v", *benchRE, pkgs)
+	}
+	host.GoVersion = runtime.Version()
+	host.NumCPU = runtime.NumCPU()
+	traj := &bench.Trajectory{
+		Label:      *label,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Host:       host,
+		Benchmarks: results,
+	}
+	if err := bench.WriteFile(*out, traj); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "roflbench: wrote %d benchmarks to %s\n", len(results), *out)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15, "ns/op regression tolerance (0.15 = +15%)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare: want OLD.json NEW.json, got %d args", fs.NArg())
+	}
+	old, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := bench.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if old.Host.GOARCH != cur.Host.GOARCH || old.Host.GOOS != cur.Host.GOOS {
+		fmt.Fprintf(os.Stderr, "roflbench: warning: comparing %s/%s against %s/%s — numbers are not directly comparable\n",
+			old.Host.GOOS, old.Host.GOARCH, cur.Host.GOOS, cur.Host.GOARCH)
+	}
+	rep := bench.Compare(old, cur, *threshold)
+	if err := rep.Format(os.Stdout); err != nil {
+		return err
+	}
+	if regs := rep.Regressions(); len(regs) > 0 {
+		return fmt.Errorf("compare: %d benchmark(s) regressed beyond +%.0f%%", len(regs), *threshold*100)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("export: want FILE.json")
+	}
+	t, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return bench.Export(os.Stdout, t)
+}

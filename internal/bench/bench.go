@@ -1,0 +1,394 @@
+// Package bench records the repository's performance trajectory: it
+// parses `go test -bench` output into structured results, serializes
+// them as a versioned JSON trajectory file (BENCH_<label>.json), emits
+// the equivalent benchstat-compatible text, and diffs two trajectories
+// with a regression threshold.
+//
+// The trajectory is the evidence base for every speed claim the
+// project makes: a committed BENCH_*.json baseline pins the numbers a
+// PR started from, CI regenerates the same benchmarks on every push,
+// and Compare turns the pair into an explicit verdict instead of a
+// sentence in a commit message. The JSON layout is deliberately flat —
+// one record per benchmark with the standard ns/op, B/op, allocs/op
+// triple — so Export can reconstruct the canonical Go benchmark text
+// format and golang.org/x/perf/cmd/benchstat accepts two exported
+// files directly.
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatVersion is bumped when the trajectory JSON layout changes
+// incompatibly; Read rejects files from a different major layout.
+const FormatVersion = 1
+
+// Result is one benchmark measurement. Name keeps the full benchmark
+// identifier including the GOMAXPROCS suffix (e.g. "BenchmarkMarshal-8")
+// so exported text round-trips byte-for-byte into benchstat.
+type Result struct {
+	Pkg        string  `json:"pkg"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the benchmark did not call
+	// ReportAllocs (absent is distinct from a measured zero).
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Key identifies a benchmark across trajectories.
+func (r Result) Key() string { return r.Pkg + "." + r.Name }
+
+// Host captures the machine a trajectory was recorded on — enough to
+// tell whether two files are comparable at all.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Trajectory is one recorded benchmark run.
+type Trajectory struct {
+	FormatVersion int      `json:"format_version"`
+	Label         string   `json:"label"`
+	CreatedAt     string   `json:"created_at,omitempty"` // RFC3339
+	Host          Host     `json:"host"`
+	Benchmarks    []Result `json:"benchmarks"`
+}
+
+// sortResults orders benchmarks by (pkg, name) so a trajectory file is
+// deterministic for a given set of measurements.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Pkg != rs[j].Pkg {
+			return rs[i].Pkg < rs[j].Pkg
+		}
+		return rs[i].Name < rs[j].Name
+	})
+}
+
+// --- go test -bench output parsing ----------------------------------------
+
+// Parse consumes `go test -bench` text output (any number of packages)
+// and returns the benchmark results plus the goos/goarch/cpu metadata
+// lines the test binary printed. Lines that are neither metadata nor
+// benchmark results (PASS, ok, test log noise) are skipped.
+func Parse(r io.Reader) ([]Result, Host, error) {
+	var (
+		out  []Result
+		host Host
+		pkg  string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			host.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			host.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			host.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseBenchLine(line)
+			if err != nil {
+				return nil, host, err
+			}
+			if ok {
+				res.Pkg = pkg
+				out = append(out, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, host, fmt.Errorf("bench: reading output: %w", err)
+	}
+	sortResults(out)
+	return out, host, nil
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkMarshal-8   12345678   95.2 ns/op   16 B/op   1 allocs/op
+//
+// ok=false is returned for Benchmark lines that are not results (a
+// benchmark name echoed alone by -v, for instance).
+func parseBenchLine(line string) (Result, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return Result{}, false, nil
+	}
+	res := Result{Name: f[0], BytesPerOp: -1, AllocsPerOp: -1}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	res.Iterations = iters
+	// The remainder is (value, unit) pairs.
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("bench: bad value %q in %q", f[i], line)
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			res.BytesPerOp = int64(val)
+		case "allocs/op":
+			res.AllocsPerOp = int64(val)
+		case "MB/s":
+			res.MBPerSec = val
+		}
+	}
+	if !seenNs {
+		return Result{}, false, nil
+	}
+	return res, true, nil
+}
+
+// --- Trajectory files ------------------------------------------------------
+
+// Encode writes t as indented JSON with benchmarks in deterministic
+// order.
+func Encode(w io.Writer, t *Trajectory) error {
+	t.FormatVersion = FormatVersion
+	sortResults(t.Benchmarks)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Decode reads a trajectory and validates its format version and label.
+func Decode(r io.Reader) (*Trajectory, error) {
+	var t Trajectory
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("bench: decoding trajectory: %w", err)
+	}
+	if t.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("bench: trajectory format v%d, this tool reads v%d", t.FormatVersion, FormatVersion)
+	}
+	if t.Label == "" {
+		return nil, fmt.Errorf("bench: trajectory has no label")
+	}
+	sortResults(t.Benchmarks)
+	return &t, nil
+}
+
+// WriteFile writes t to path.
+func WriteFile(path string, t *Trajectory) error {
+	var buf bytes.Buffer
+	if err := Encode(&buf, t); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadFile loads a trajectory from path.
+func ReadFile(path string) (*Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	defer f.Close()
+	t, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// --- benchstat export ------------------------------------------------------
+
+// Export renders a trajectory in the canonical Go benchmark text format
+// (grouped by package, with goos/goarch/cpu headers), the input
+// benchstat and every other x/perf tool accepts.
+func Export(w io.Writer, t *Trajectory) error {
+	bw := bufio.NewWriter(w)
+	lastPkg := ""
+	headered := false
+	for _, r := range t.Benchmarks {
+		if !headered {
+			if t.Host.GOOS != "" {
+				fmt.Fprintf(bw, "goos: %s\n", t.Host.GOOS)
+			}
+			if t.Host.GOARCH != "" {
+				fmt.Fprintf(bw, "goarch: %s\n", t.Host.GOARCH)
+			}
+			headered = true
+		}
+		if r.Pkg != lastPkg {
+			if r.Pkg != "" {
+				fmt.Fprintf(bw, "pkg: %s\n", r.Pkg)
+			}
+			if t.Host.CPU != "" {
+				fmt.Fprintf(bw, "cpu: %s\n", t.Host.CPU)
+			}
+			lastPkg = r.Pkg
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%s ns/op", r.Name, r.Iterations, formatValue(r.NsPerOp))
+		if r.MBPerSec > 0 {
+			fmt.Fprintf(bw, "\t%s MB/s", formatValue(r.MBPerSec))
+		}
+		if r.BytesPerOp >= 0 {
+			fmt.Fprintf(bw, "\t%d B/op", r.BytesPerOp)
+		}
+		if r.AllocsPerOp >= 0 {
+			fmt.Fprintf(bw, "\t%d allocs/op", r.AllocsPerOp)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// formatValue renders a measurement losslessly: integers without a
+// fraction, everything else with the minimal digits that round-trip,
+// so Export→Parse is a fixed point.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// --- Comparison ------------------------------------------------------------
+
+// Delta is the change of one benchmark between two trajectories. Ratio
+// is new/old ns/op; a Ratio above 1+threshold is a regression.
+type Delta struct {
+	Pkg, Name      string
+	OldNs, NewNs   float64
+	Ratio          float64
+	OldAllocs      int64
+	NewAllocs      int64
+	OnlyOld        bool
+	OnlyNew        bool
+	AllocsRegressed bool
+}
+
+// Report is the outcome of comparing two trajectories.
+type Report struct {
+	OldLabel, NewLabel string
+	Threshold          float64
+	Deltas             []Delta
+}
+
+// Regressions returns the deltas whose ns/op worsened beyond the
+// threshold.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if !d.OnlyOld && !d.OnlyNew && d.Ratio > 1+r.Threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Improvements returns the deltas whose ns/op improved beyond the
+// threshold.
+func (r *Report) Improvements() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if !d.OnlyOld && !d.OnlyNew && d.Ratio < 1-r.Threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs two trajectories benchmark by benchmark.
+func Compare(old, new *Trajectory, threshold float64) *Report {
+	rep := &Report{OldLabel: old.Label, NewLabel: new.Label, Threshold: threshold}
+	oldByKey := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldByKey[r.Key()] = r
+	}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, nr := range new.Benchmarks {
+		seen[nr.Key()] = true
+		or, ok := oldByKey[nr.Key()]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{Pkg: nr.Pkg, Name: nr.Name, NewNs: nr.NsPerOp, OnlyNew: true})
+			continue
+		}
+		d := Delta{
+			Pkg: nr.Pkg, Name: nr.Name,
+			OldNs: or.NsPerOp, NewNs: nr.NsPerOp,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
+		}
+		if or.NsPerOp > 0 {
+			d.Ratio = nr.NsPerOp / or.NsPerOp
+		}
+		d.AllocsRegressed = or.AllocsPerOp >= 0 && nr.AllocsPerOp > or.AllocsPerOp
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, or := range old.Benchmarks {
+		if !seen[or.Key()] {
+			rep.Deltas = append(rep.Deltas, Delta{Pkg: or.Pkg, Name: or.Name, OldNs: or.NsPerOp, OnlyOld: true})
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Pkg != rep.Deltas[j].Pkg {
+			return rep.Deltas[i].Pkg < rep.Deltas[j].Pkg
+		}
+		return rep.Deltas[i].Name < rep.Deltas[j].Name
+	})
+	return rep
+}
+
+// Format renders the report as an aligned table with one verdict per
+// benchmark.
+func (r *Report) Format(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "benchmark trajectory: %s → %s (threshold ±%.0f%%)\n", r.OldLabel, r.NewLabel, r.Threshold*100)
+	fmt.Fprintf(bw, "%-58s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "Δ", "verdict")
+	for _, d := range r.Deltas {
+		name := shortPkg(d.Pkg) + "." + d.Name
+		switch {
+		case d.OnlyNew:
+			fmt.Fprintf(bw, "%-58s %12s %12.1f %8s  new\n", name, "-", d.NewNs, "-")
+		case d.OnlyOld:
+			fmt.Fprintf(bw, "%-58s %12.1f %12s %8s  removed\n", name, d.OldNs, "-", "-")
+		default:
+			verdict := "ok"
+			if d.Ratio > 1+r.Threshold {
+				verdict = "REGRESSION"
+			} else if d.Ratio < 1-r.Threshold {
+				verdict = "improved"
+			}
+			if d.AllocsRegressed {
+				verdict += fmt.Sprintf(" (+allocs %d→%d)", d.OldAllocs, d.NewAllocs)
+			}
+			fmt.Fprintf(bw, "%-58s %12.1f %12.1f %+7.1f%%  %s\n", name, d.OldNs, d.NewNs, (d.Ratio-1)*100, verdict)
+		}
+	}
+	return bw.Flush()
+}
+
+// shortPkg trims the module prefix so table rows stay readable.
+func shortPkg(pkg string) string {
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		return pkg[i+1:]
+	}
+	return pkg
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleOutput is verbatim `go test -bench` output across two packages,
+// including the noise lines a real run interleaves.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rofl/internal/wire
+cpu: AMD EPYC 7B13
+BenchmarkMarshal-8   	12581676	        95.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecode-8    	 8233341	       145.8 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	rofl/internal/wire	2.513s
+pkg: rofl/internal/vring
+BenchmarkCacheInsertAtCapacity/cap=1000-8         	 1000000	      1042 ns/op	     151 B/op	       3 allocs/op
+BenchmarkThroughput-8	  500000	      2100 ns/op	 476.19 MB/s
+PASS
+ok  	rofl/internal/vring	3.002s
+`
+
+func TestParse(t *testing.T) {
+	results, host, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.GOOS != "linux" || host.GOARCH != "amd64" || host.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("host metadata wrong: %+v", host)
+	}
+	if len(results) != 4 {
+		t.Fatalf("want 4 results, got %d: %+v", len(results), results)
+	}
+	byKey := map[string]Result{}
+	for _, r := range results {
+		byKey[r.Key()] = r
+	}
+	m := byKey["rofl/internal/wire.BenchmarkMarshal-8"]
+	if m.Iterations != 12581676 || m.NsPerOp != 95.2 || m.BytesPerOp != 0 || m.AllocsPerOp != 0 {
+		t.Fatalf("Marshal parsed wrong: %+v", m)
+	}
+	d := byKey["rofl/internal/wire.BenchmarkDecode-8"]
+	if d.NsPerOp != 145.8 || d.AllocsPerOp != 1 {
+		t.Fatalf("Decode parsed wrong: %+v", d)
+	}
+	c := byKey["rofl/internal/vring.BenchmarkCacheInsertAtCapacity/cap=1000-8"]
+	if c.NsPerOp != 1042 {
+		t.Fatalf("sub-benchmark parsed wrong: %+v", c)
+	}
+	tp := byKey["rofl/internal/vring.BenchmarkThroughput-8"]
+	if tp.MBPerSec != 476.19 {
+		t.Fatalf("MB/s parsed wrong: %+v", tp)
+	}
+	// No ReportAllocs → absent, not zero.
+	if tp.BytesPerOp != -1 || tp.AllocsPerOp != -1 {
+		t.Fatalf("absent alloc columns must be -1: %+v", tp)
+	}
+}
+
+func sampleTrajectory() *Trajectory {
+	results, host, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		panic(err)
+	}
+	host.GoVersion = "go1.24.0"
+	host.NumCPU = 8
+	return &Trajectory{Label: "test", CreatedAt: "2026-08-07T00:00:00Z", Host: host, Benchmarks: results}
+}
+
+// TestJSONRoundTrip is the satellite guarantee: roflbench's JSON output
+// round-trips through its own parser without loss.
+func TestJSONRoundTrip(t *testing.T) {
+	traj := sampleTrajectory()
+	var buf bytes.Buffer
+	if err := Encode(&buf, traj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traj, got) {
+		t.Fatalf("round trip lost data:\nin:  %+v\nout: %+v", traj, got)
+	}
+	// And the file layer does the same.
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, traj); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traj, got2) {
+		t.Fatal("file round trip lost data")
+	}
+}
+
+func TestDecodeRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"wrong version": `{"format_version": 99, "label": "x", "benchmarks": []}`,
+		"no label":      `{"format_version": 1, "benchmarks": []}`,
+		"unknown field": `{"format_version": 1, "label": "x", "surprise": true}`,
+		"not json":      `BenchmarkMarshal-8 100 95 ns/op`,
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Decode accepted %q", name, in)
+		}
+	}
+}
+
+// TestExportBenchstatFormat checks the exported text against the Go
+// benchmark format rules benchstat enforces (proposal #14313): a
+// benchmark line is `name<tab-or-spaces>iterations<spaces>value unit
+// [value unit ...]` with the name starting in "Benchmark", and
+// configuration lines are `key: value`. The export must also re-parse
+// through our own reader as a fixed point.
+func TestExportBenchstatFormat(t *testing.T) {
+	traj := sampleTrajectory()
+	var buf bytes.Buffer
+	if err := Export(&buf, traj); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("export emitted a blank line")
+		}
+		if strings.HasPrefix(line, "Benchmark") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("benchmark line too short for benchstat: %q", line)
+			}
+			// iterations must be a positive integer, then (value, unit)
+			// pairs — the shape x/perf's benchfmt.Reader requires.
+			if strings.ContainsAny(f[1], ".-") {
+				t.Fatalf("iterations field %q is not an integer: %q", f[1], line)
+			}
+			if (len(f)-2)%2 != 0 {
+				t.Fatalf("unpaired value/unit fields: %q", line)
+			}
+			for i := 3; i < len(f); i += 2 {
+				if !strings.Contains(f[i], "/") && f[i] != "MB/s" {
+					t.Fatalf("field %q is not a unit: %q", f[i], line)
+				}
+			}
+			continue
+		}
+		if !strings.Contains(line, ": ") {
+			t.Fatalf("line is neither a benchmark nor a config line: %q", line)
+		}
+	}
+	// Fixed point: parsing the export reproduces the measurements.
+	results, host, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.GOOS != traj.Host.GOOS || host.GOARCH != traj.Host.GOARCH || host.CPU != traj.Host.CPU {
+		t.Fatalf("export dropped host metadata: %+v", host)
+	}
+	if !reflect.DeepEqual(results, traj.Benchmarks) {
+		t.Fatalf("export is not a parse fixed point:\nin:  %+v\nout: %+v", traj.Benchmarks, results)
+	}
+}
+
+func trajWith(label string, ns map[string]float64) *Trajectory {
+	t := &Trajectory{Label: label}
+	for name, v := range ns {
+		t.Benchmarks = append(t.Benchmarks, Result{
+			Pkg: "rofl/internal/x", Name: name, Iterations: 100,
+			NsPerOp: v, BytesPerOp: -1, AllocsPerOp: -1,
+		})
+	}
+	sortResults(t.Benchmarks)
+	return t
+}
+
+func TestCompareThreshold(t *testing.T) {
+	old := trajWith("old", map[string]float64{
+		"BenchmarkSame-8": 100, "BenchmarkWorse-8": 100, "BenchmarkBetter-8": 100, "BenchmarkGone-8": 50,
+	})
+	cur := trajWith("new", map[string]float64{
+		"BenchmarkSame-8": 109, "BenchmarkWorse-8": 140, "BenchmarkBetter-8": 60, "BenchmarkFresh-8": 10,
+	})
+	rep := Compare(old, cur, 0.15)
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkWorse-8" {
+		t.Fatalf("want exactly BenchmarkWorse-8 regressed, got %+v", regs)
+	}
+	imps := rep.Improvements()
+	if len(imps) != 1 || imps[0].Name != "BenchmarkBetter-8" {
+		t.Fatalf("want exactly BenchmarkBetter-8 improved, got %+v", imps)
+	}
+	var onlyOld, onlyNew int
+	for _, d := range rep.Deltas {
+		if d.OnlyOld {
+			onlyOld++
+		}
+		if d.OnlyNew {
+			onlyNew++
+		}
+	}
+	if onlyOld != 1 || onlyNew != 1 {
+		t.Fatalf("added/removed benchmarks miscounted: %+v", rep.Deltas)
+	}
+	var buf bytes.Buffer
+	if err := rep.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "improved", "new", "removed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	old := &Trajectory{Label: "old", Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkX-8", Iterations: 1, NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0},
+	}}
+	cur := &Trajectory{Label: "new", Benchmarks: []Result{
+		{Pkg: "p", Name: "BenchmarkX-8", Iterations: 1, NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2},
+	}}
+	rep := Compare(old, cur, 0.15)
+	if len(rep.Deltas) != 1 || !rep.Deltas[0].AllocsRegressed {
+		t.Fatalf("alloc regression not flagged: %+v", rep.Deltas)
+	}
+}

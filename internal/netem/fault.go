@@ -99,6 +99,20 @@ func (f *Fault) Send(addr string, p []byte) error {
 // Recv passes through to the inner transport.
 func (f *Fault) Recv() ([]byte, string, error) { return f.inner.Recv() }
 
+// RecvInto implements BufferedTransport when the inner transport does,
+// falling back to Recv plus a copy otherwise (faults apply to outbound
+// traffic only, so receives pass through either way).
+func (f *Fault) RecvInto(buf []byte) (int, string, error) {
+	if bt, ok := f.inner.(BufferedTransport); ok {
+		return bt.RecvInto(buf)
+	}
+	p, from, err := f.inner.Recv()
+	if err != nil {
+		return 0, "", err
+	}
+	return copy(buf, p), from, nil
+}
+
 // LocalAddr passes through to the inner transport.
 func (f *Fault) LocalAddr() string { return f.inner.LocalAddr() }
 

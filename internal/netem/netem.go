@@ -49,6 +49,16 @@ type Transport interface {
 	Close() error
 }
 
+// BufferedTransport is implemented by transports that can receive a
+// datagram directly into a caller-provided buffer, sparing the
+// per-packet allocation Recv's owned-slice contract forces. Receive
+// loops should type-assert for it and fall back to Recv. buf must be
+// large enough for the transport's maximum datagram (64 KiB covers
+// UDP); like Recv, RecvInto blocks and returns an error once closed.
+type BufferedTransport interface {
+	RecvInto(buf []byte) (n int, from string, err error)
+}
+
 // LinkParams describes the fault schedule of one directed link (or, for
 // Fault, of every outbound packet). The zero value is a perfect link.
 type LinkParams struct {

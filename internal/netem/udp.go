@@ -51,5 +51,16 @@ func (u *UDP) Recv() ([]byte, string, error) {
 	return buf[:n:n], from.String(), nil
 }
 
+// RecvInto implements BufferedTransport: the datagram lands in the
+// caller's buffer, so a receive loop that reuses one buffer takes no
+// per-packet allocation from the socket read.
+func (u *UDP) RecvInto(buf []byte) (int, string, error) {
+	n, from, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		return 0, "", ErrClosed
+	}
+	return n, from.String(), nil
+}
+
 // Close shuts the socket down, unblocking Recv.
 func (u *UDP) Close() error { return u.conn.Close() }

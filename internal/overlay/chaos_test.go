@@ -76,7 +76,7 @@ func waitMembership(t *testing.T, nodes []*Node, timeout time.Duration) {
 		all := true
 		for _, n := range nodes {
 			n.mu.Lock()
-			c := len(n.known)
+			c := n.known.len()
 			n.mu.Unlock()
 			if c < len(nodes)-1 {
 				all = false

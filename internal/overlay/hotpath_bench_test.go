@@ -1,0 +1,155 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rofl/internal/ident"
+	"rofl/internal/wire"
+)
+
+// benchTransport is a sink: sends vanish, Recv blocks until Close. It
+// isolates the node's own forwarding cost (lock, next-hop selection,
+// marshal) from socket and fabric latency.
+type benchTransport struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newBenchTransport() *benchTransport { return &benchTransport{closed: make(chan struct{})} }
+
+func (s *benchTransport) Send(addr string, p []byte) error { return nil }
+func (s *benchTransport) Recv() ([]byte, string, error) {
+	<-s.closed
+	return nil, "", errors.New("benchTransport closed")
+}
+func (s *benchTransport) LocalAddr() string { return "bench:0" }
+func (s *benchTransport) Close() error {
+	s.once.Do(func() { close(s.closed) })
+	return nil
+}
+
+// benchNode builds a node with a full successor group, a predecessor,
+// and nKnown remembered peers — the steady-state shape of a member of a
+// large ring.
+func benchNode(b *testing.B, nKnown int) *Node {
+	b.Helper()
+	n := NewNodeTransport(ident.FromUint64(1000), newBenchTransport())
+	b.Cleanup(func() { n.Close() })
+	n.mu.Lock()
+	n.succs = []entry{
+		{ID: ident.FromUint64(2000), Addr: "peer:2000"},
+		{ID: ident.FromUint64(3000), Addr: "peer:3000"},
+		{ID: ident.FromUint64(4000), Addr: "peer:4000"},
+	}
+	pred := entry{ID: ident.FromUint64(500), Addr: "peer:500"}
+	n.pred = &pred
+	for i := 0; i < nKnown; i++ {
+		n.learnLocked(entry{ID: ident.FromUint64(uint64(10000 + i)), Addr: fmt.Sprintf("peer:%d", 10000+i)})
+	}
+	n.mu.Unlock()
+	return n
+}
+
+// BenchmarkForwardData measures one greedy next-hop decision plus
+// marshal and (sunk) send — the per-hop cost of the data path.
+func BenchmarkForwardData(b *testing.B) {
+	n := benchNode(b, maxKnown)
+	pkt := &wire.Packet{
+		Type: wire.TypeData, TTL: wire.DefaultTTL,
+		Dst: ident.FromUint64(3500), Src: ident.FromUint64(77),
+		Payload: make([]byte, 64),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.forward(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHandleDataForward measures the full receive hot path for a
+// transit packet, exactly as the read loop runs it: decode the
+// datagram, dispatch, pick the next hop, re-marshal, send.
+func BenchmarkHandleDataForward(b *testing.B) {
+	n := benchNode(b, maxKnown)
+	raw, err := (&wire.Packet{
+		Type: wire.TypeData, TTL: wire.DefaultTTL,
+		Dst: ident.FromUint64(3500), Src: ident.FromUint64(77),
+		Payload: make([]byte, 64),
+	}).Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkt wire.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pkt.DecodeFromBytes(raw); err != nil {
+			b.Fatal(err)
+		}
+		n.handle(&pkt, "peer:77")
+	}
+}
+
+// BenchmarkHandleDataDeliver measures the receive hot path for a packet
+// addressed to the local node: decode, dispatch, copy the payload to
+// the application channel (drained by a cleanup-managed consumer).
+func BenchmarkHandleDataDeliver(b *testing.B) {
+	n := benchNode(b, maxKnown)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-n.Deliveries():
+			case <-stop:
+				return
+			}
+		}
+	}()
+	b.Cleanup(func() { close(stop) })
+	raw, err := (&wire.Packet{
+		Type: wire.TypeData, TTL: wire.DefaultTTL,
+		Dst: ident.FromUint64(1000), Src: ident.FromUint64(77),
+		Payload: make([]byte, 64),
+	}).Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkt wire.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pkt.DecodeFromBytes(raw); err != nil {
+			b.Fatal(err)
+		}
+		n.handle(&pkt, "peer:77")
+	}
+}
+
+// BenchmarkStabilizeRound measures one stabilization round with a full
+// known set: gossip sampling, probe selection, and two control sends.
+func BenchmarkStabilizeRound(b *testing.B) {
+	n := benchNode(b, maxKnown)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.stabilizeOnceRound()
+	}
+}
+
+// BenchmarkLearnAtCapacity measures remembering a fresh peer into a
+// full known set, where every learn must pick an eviction victim.
+func BenchmarkLearnAtCapacity(b *testing.B) {
+	n := benchNode(b, maxKnown)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.mu.Lock()
+	for i := 0; i < b.N; i++ {
+		n.learnLocked(entry{ID: ident.FromUint64(1<<32 + uint64(i)), Addr: "peer:fresh"})
+	}
+	n.mu.Unlock()
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,8 +151,16 @@ type Node struct {
 	// evicted-as-dead successors — and feeds the stabilization-time
 	// repair probes that let two rings separated by a partition find
 	// each other again after it heals (the overlay's analogue of the
-	// paper's §3.3 ring-merge).
-	known map[ident.ID]entry
+	// paper's §3.3 ring-merge). Its sorted index also serves as a
+	// pointer cache for forwarding: when no ring pointer makes greedy
+	// progress, the closest remembered peer is tried before dropping.
+	known *peerSet
+	// rng drives every sampling decision (gossip fanout, probe choice,
+	// eviction victims). It is seeded from the node's own identifier, so
+	// a node's sampling trace is a pure function of its ID and learn
+	// history — never of Go's randomized map iteration order. Guarded by
+	// mu.
+	rng *rand.Rand
 	// recentStab is the window of stabilize request IDs awaiting a
 	// reply; replies whose ReqID is not in the window are discarded as
 	// stale (reordered or duplicated by the network).
@@ -204,7 +213,8 @@ func NewNodeTransport(id ident.ID, tr netem.Transport) *Node {
 		tr:         tr,
 		retry:      DefaultRetryPolicy(),
 		pending:    make(map[uint64]chan *wire.Packet),
-		known:      make(map[ident.ID]entry),
+		known:      newPeerSet(),
+		rng:        rand.New(rand.NewSource(int64(id.Low64()))),
 		recentStab: make(map[uint64]struct{}),
 		deliveries: make(chan Delivery, 64),
 		done:       make(chan struct{}),
@@ -324,48 +334,50 @@ func (n *Node) noteStabLocked(id uint64) {
 	}
 }
 
-// learnLocked remembers a peer for repair probing. Caller holds n.mu.
+// isRingNeighborLocked reports whether id is one of the node's live
+// ring pointers — a member of the successor group or the predecessor.
+// Caller holds n.mu.
+func (n *Node) isRingNeighborLocked(id ident.ID) bool {
+	if n.pred != nil && n.pred.ID == id {
+		return true
+	}
+	return containsID(n.succs, id)
+}
+
+// learnLocked remembers a peer for repair probing. At the maxKnown
+// bound an eviction victim is drawn from the node's seeded RNG —
+// skipping the current successors and predecessor, which feed failure
+// detection and repair probing and must never be silently forgotten
+// while they are live ring neighbors. Caller holds n.mu.
 func (n *Node) learnLocked(e entry) {
 	if e.ID == n.id || e.Addr == "" {
 		return
 	}
-	if _, ok := n.known[e.ID]; !ok && len(n.known) >= maxKnown {
-		for k := range n.known { // arbitrary eviction keeps the set bounded
-			delete(n.known, k)
-			break
+	if !n.known.contains(e.ID) && n.known.len() >= maxKnown {
+		victim, ok := n.known.pick(n.rng, n.isRingNeighborLocked)
+		if !ok {
+			return // everyone remembered is a ring neighbor; don't evict any of them
 		}
+		n.known.remove(victim.ID)
 	}
-	n.known[e.ID] = e
+	n.known.insert(e)
 }
 
 // gossipLocked returns the stabilize-request payload: the node's own
-// entry followed by up to gossipFanout remembered peers (map iteration
-// order makes the sample effectively random). Caller holds n.mu.
+// entry followed by up to gossipFanout remembered peers sampled by the
+// node's seeded RNG over the sorted peer index. Caller holds n.mu.
 func (n *Node) gossipLocked(self entry) []entry {
 	out := append(make([]entry, 0, 1+gossipFanout), self)
-	for _, e := range n.known {
-		if len(out) > gossipFanout {
-			break
-		}
-		out = append(out, e)
-	}
-	return out
+	return n.known.sampleInto(out, gossipFanout, n.rng, nil)
 }
 
 // pickProbeLocked selects a remembered peer outside the successor head
-// to probe this round (map iteration order makes the pick effectively
-// random). Caller holds n.mu.
+// to probe this round, drawn from the node's seeded RNG. Caller holds
+// n.mu.
 func (n *Node) pickProbeLocked() (entry, bool) {
-	for _, e := range n.known {
-		if e.ID == n.id {
-			continue
-		}
-		if len(n.succs) > 0 && e.ID == n.succs[0].ID {
-			continue
-		}
-		return e, true
-	}
-	return entry{}, false
+	return n.known.pick(n.rng, func(id ident.ID) bool {
+		return len(n.succs) > 0 && id == n.succs[0].ID
+	})
 }
 
 func (n *Node) stabilizeOnceRound() {
@@ -619,7 +631,10 @@ func (n *Node) unregister(id uint64) {
 	n.mu.Unlock()
 }
 
-// resolve hands a reply to the matching in-flight request, if any.
+// resolve hands a reply to the matching in-flight request, if any. The
+// packet is cloned before it crosses the channel: the read loop reuses
+// its decode packet for the next datagram, but the waiting requester
+// consumes the reply asynchronously.
 func (n *Node) resolve(pkt *wire.Packet) {
 	n.mu.Lock()
 	ch, ok := n.pending[pkt.ReqID]
@@ -629,7 +644,7 @@ func (n *Node) resolve(pkt *wire.Packet) {
 	n.mu.Unlock()
 	if ok {
 		select {
-		case ch <- pkt:
+		case ch <- pkt.Clone():
 		default:
 		}
 	}
@@ -762,12 +777,24 @@ func (n *Node) SendWithCapability(dst ident.ID, payload, capability []byte) erro
 	return n.forward(pkt)
 }
 
+// sendBufs pools marshal buffers across sends: every Transport
+// implementation treats the payload as caller-owned once Send returns
+// (UDP writes synchronously, the netem fabric and Fault wrapper copy),
+// so the buffer can go straight back to the pool. This keeps the
+// per-hop forward path allocation-free.
+var sendBufs = sync.Pool{New: func() any { return new([]byte) }}
+
 func (n *Node) send(addr string, pkt *wire.Packet) error {
-	buf, err := pkt.Marshal()
+	bp := sendBufs.Get().(*[]byte)
+	buf, err := pkt.AppendTo((*bp)[:0])
 	if err != nil {
+		sendBufs.Put(bp)
 		return fmt.Errorf("overlay: marshal: %w", err)
 	}
-	if err := n.tr.Send(addr, buf); err != nil {
+	*bp = buf
+	err = n.tr.Send(addr, buf)
+	sendBufs.Put(bp)
+	if err != nil {
 		return fmt.Errorf("overlay: sending to %s: %w", addr, err)
 	}
 	return nil
@@ -775,12 +802,31 @@ func (n *Node) send(addr string, pkt *wire.Packet) error {
 
 func (n *Node) readLoop() {
 	defer n.wg.Done()
+	// The loop owns one receive buffer (when the transport can fill a
+	// caller-provided one) and one decode packet, reused across
+	// datagrams: handlers run synchronously and copy what they keep
+	// (resolve clones, deliver copies the payload), so steady-state
+	// receive costs no allocation.
+	recvInto, buffered := n.tr.(netem.BufferedTransport)
+	var recvBuf []byte
+	if buffered {
+		recvBuf = make([]byte, 64*1024)
+	}
+	var pkt wire.Packet
 	for {
-		buf, from, err := n.tr.Recv()
+		var buf []byte
+		var from string
+		var err error
+		if buffered {
+			var ln int
+			ln, from, err = recvInto.RecvInto(recvBuf)
+			buf = recvBuf[:ln]
+		} else {
+			buf, from, err = n.tr.Recv()
+		}
 		if err != nil {
 			return // closed
 		}
-		var pkt wire.Packet
 		if err := pkt.DecodeFromBytes(buf); err != nil {
 			continue // drop malformed datagrams
 		}
@@ -865,9 +911,18 @@ func (n *Node) forwardExcept(pkt *wire.Packet, exclude ident.ID) error {
 	var bestAddr string
 	if best != nil {
 		bestAddr = best.Addr // copy before unlock: best aliases n.succs
+	} else if e, ok := n.known.bestProgress(n.id, pkt.Dst, exclude); ok {
+		// No ring pointer makes progress — before dropping, consult the
+		// sorted known index for the closest remembered peer that does
+		// (an O(log n) lookup). This is the pointer-cache role §2.2
+		// assigns to opportunistically learned state: at worst the peer
+		// is dead and the packet is lost exactly as it would have been
+		// dropped here; at best it short-cuts to the destination's ring
+		// segment during churn.
+		bestAddr = e.Addr
 	}
 	n.mu.Unlock()
-	if best == nil {
+	if bestAddr == "" {
 		// We are the destination's predecessor and it is not present:
 		// drop (the overlay has no parked ephemerals).
 		return nil

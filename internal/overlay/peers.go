@@ -1,0 +1,157 @@
+package overlay
+
+import (
+	"math/rand"
+	"sort"
+
+	"rofl/internal/ident"
+)
+
+// peerSet is the node's memory of every peer it has heard of, indexed
+// two ways: a map for O(1) address lookup and a sorted ID slice for
+// O(log n) successor/closest-predecessor queries and for seeded-RNG
+// sampling over a stable order. Map iteration order is never used — Go
+// randomizes it per run *and* biases it, so gossip fanout, probe
+// choice, and eviction all draw from the node's own RNG over the
+// sorted slice instead, making every sampling decision a pure function
+// of the node's seed and learn history.
+//
+// All methods assume the caller holds the owning node's mutex.
+type peerSet struct {
+	byID map[ident.ID]entry
+	ids  []ident.ID // sorted ascending (linear order; used only for storage, never routing)
+}
+
+func newPeerSet() *peerSet {
+	return &peerSet{byID: make(map[ident.ID]entry)}
+}
+
+func (s *peerSet) len() int { return len(s.ids) }
+
+func (s *peerSet) contains(id ident.ID) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+func (s *peerSet) get(id ident.ID) (entry, bool) {
+	e, ok := s.byID[id]
+	return e, ok
+}
+
+// at returns the i-th peer in ascending ID order.
+func (s *peerSet) at(i int) entry { return s.byID[s.ids[i]] }
+
+// search returns the position of id in the sorted slice (or where it
+// would be inserted).
+func (s *peerSet) search(id ident.ID) int {
+	return sort.Search(len(s.ids), func(k int) bool { return !s.ids[k].Less(id) })
+}
+
+// insert adds a peer or refreshes the address of a known one.
+func (s *peerSet) insert(e entry) {
+	if _, ok := s.byID[e.ID]; ok {
+		s.byID[e.ID] = e
+		return
+	}
+	i := s.search(e.ID)
+	s.ids = append(s.ids, ident.ID{})
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = e.ID
+	s.byID[e.ID] = e
+}
+
+func (s *peerSet) remove(id ident.ID) {
+	if _, ok := s.byID[id]; !ok {
+		return
+	}
+	delete(s.byID, id)
+	i := s.search(id)
+	s.ids = append(s.ids[:i], s.ids[i+1:]...)
+}
+
+// sampleInto appends up to k distinct random peers to out, drawn from
+// rng over the sorted slice; peers already in out (by ID) and peers
+// rejected by skip are not chosen. With the set no larger than k the
+// whole set is appended in sorted order.
+func (s *peerSet) sampleInto(out []entry, k int, rng *rand.Rand, skip func(ident.ID) bool) []entry {
+	m := len(s.ids)
+	if m == 0 || k <= 0 {
+		return out
+	}
+	if m <= k {
+		for _, id := range s.ids {
+			if (skip == nil || !skip(id)) && !containsID(out, id) {
+				out = append(out, s.byID[id])
+			}
+		}
+		return out
+	}
+	// Random draws with a bounded retry budget: duplicates and skipped
+	// IDs cost one attempt. The budget makes the loop total while
+	// keeping the common case (k << m) two or three draws.
+	want := len(out) + k
+	for tries := 0; len(out) < want && tries < 8*k; tries++ {
+		id := s.ids[rng.Intn(m)]
+		if (skip != nil && skip(id)) || containsID(out, id) {
+			continue
+		}
+		out = append(out, s.byID[id])
+	}
+	return out
+}
+
+// pick returns a random peer accepted by skip, scanning clockwise from
+// a seeded-random start so a contiguous run of skipped IDs cannot
+// starve anyone.
+func (s *peerSet) pick(rng *rand.Rand, skip func(ident.ID) bool) (entry, bool) {
+	m := len(s.ids)
+	if m == 0 {
+		return entry{}, false
+	}
+	start := rng.Intn(m)
+	for i := 0; i < m; i++ {
+		id := s.ids[(start+i)%m]
+		if skip != nil && skip(id) {
+			continue
+		}
+		return s.byID[id], true
+	}
+	return entry{}, false
+}
+
+// bestProgress returns the remembered peer closest to dst that makes
+// legal greedy progress from cur (candidate ∈ (cur, dst], Algorithm 2),
+// skipping exclude. The sorted slice turns this into one O(log n)
+// binary search — the largest ID at or before dst in circular order —
+// followed by at most a short counter-clockwise walk past excluded
+// entries: the same lookup structure vring's pointer cache uses, here
+// over the overlay's known set.
+func (s *peerSet) bestProgress(cur, dst, exclude ident.ID) (entry, bool) {
+	m := len(s.ids)
+	if m == 0 {
+		return entry{}, false
+	}
+	// First ID linearly greater than dst; its predecessor (circularly)
+	// is the closest candidate that does not overshoot.
+	i := sort.Search(m, func(k int) bool { return dst.Less(s.ids[k]) })
+	idx := i - 1
+	if idx < 0 {
+		idx = m - 1
+	}
+	for tries := 0; tries < m; tries++ {
+		id := s.ids[idx]
+		if !ident.Progress(cur, dst, id) {
+			// Walking counter-clockwise only ever shrinks progress; once
+			// it fails, no remembered peer qualifies.
+			return entry{}, false
+		}
+		if id != exclude {
+			return s.byID[id], true
+		}
+		idx--
+		if idx < 0 {
+			idx = m - 1
+		}
+	}
+	return entry{}, false
+}

@@ -1,0 +1,255 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rofl/internal/ident"
+	"rofl/internal/wire"
+)
+
+func peerEntry(v uint64) entry {
+	return entry{ID: ident.FromUint64(v), Addr: fmt.Sprintf("peer:%d", v)}
+}
+
+func TestPeerSetBasics(t *testing.T) {
+	s := newPeerSet()
+	for _, v := range []uint64{50, 10, 30, 20, 40} {
+		s.insert(peerEntry(v))
+	}
+	if s.len() != 5 {
+		t.Fatalf("len=%d, want 5", s.len())
+	}
+	// Sorted ascending regardless of insertion order.
+	for i, want := range []uint64{10, 20, 30, 40, 50} {
+		if got := s.at(i).ID; got != ident.FromUint64(want) {
+			t.Fatalf("at(%d) = %v, want %d", i, got, want)
+		}
+	}
+	// Re-inserting refreshes the address without duplicating.
+	s.insert(entry{ID: ident.FromUint64(30), Addr: "peer:new"})
+	if s.len() != 5 {
+		t.Fatalf("duplicate insert grew the set to %d", s.len())
+	}
+	if e, ok := s.get(ident.FromUint64(30)); !ok || e.Addr != "peer:new" {
+		t.Fatalf("address not refreshed: %+v %v", e, ok)
+	}
+	s.remove(ident.FromUint64(30))
+	if s.contains(ident.FromUint64(30)) || s.len() != 4 {
+		t.Fatal("remove failed")
+	}
+	s.remove(ident.FromUint64(30)) // absent remove is a no-op
+	if s.len() != 4 {
+		t.Fatal("removing an absent ID changed the set")
+	}
+}
+
+func TestPeerSetBestProgress(t *testing.T) {
+	s := newPeerSet()
+	for _, v := range []uint64{500, 2500, 2999, 5000} {
+		s.insert(peerEntry(v))
+	}
+	cur := ident.FromUint64(1000)
+	dst := ident.FromUint64(3000)
+	// Closest candidate in (1000, 3000] is 2999.
+	if e, ok := s.bestProgress(cur, dst, cur); !ok || e.ID != ident.FromUint64(2999) {
+		t.Fatalf("bestProgress = %+v %v, want 2999", e, ok)
+	}
+	// Excluding 2999 falls back to the next-closest legal hop.
+	if e, ok := s.bestProgress(cur, dst, ident.FromUint64(2999)); !ok || e.ID != ident.FromUint64(2500) {
+		t.Fatalf("bestProgress excluding 2999 = %+v %v, want 2500", e, ok)
+	}
+	// No candidate in (5000, 200]-wrap except 500 → wrap-around works.
+	if e, ok := s.bestProgress(ident.FromUint64(5000), ident.FromUint64(600), cur); !ok || e.ID != ident.FromUint64(500) {
+		t.Fatalf("wrap-around bestProgress = %+v %v, want 500", e, ok)
+	}
+	// Nothing makes progress inside an empty interval.
+	if _, ok := s.bestProgress(ident.FromUint64(2999), dst, cur); ok {
+		t.Fatal("bestProgress invented a candidate: only 3000 itself could qualify")
+	}
+	if _, ok := newPeerSet().bestProgress(cur, dst, cur); ok {
+		t.Fatal("empty set returned a candidate")
+	}
+}
+
+// TestLearnEvictionSparesRingNeighbors is the regression test for the
+// maxKnown eviction bug: choosing an arbitrary victim could silently
+// forget the node's own successors or predecessor, removing live ring
+// neighbors from repair probing. Eviction must skip them.
+func TestLearnEvictionSparesRingNeighbors(t *testing.T) {
+	n := NewNodeTransport(ident.FromUint64(1000), newBenchTransport())
+	defer n.Close()
+	n.mu.Lock()
+	n.succs = []entry{peerEntry(2000), peerEntry(3000), peerEntry(4000)}
+	pred := peerEntry(500)
+	n.pred = &pred
+	// Ring neighbors are remembered first, then enough strangers to
+	// force evictions far past the bound.
+	for _, e := range n.succs {
+		n.learnLocked(e)
+	}
+	n.learnLocked(pred)
+	for i := 0; i < 4*maxKnown; i++ {
+		n.learnLocked(peerEntry(uint64(100000 + i)))
+	}
+	defer n.mu.Unlock()
+	if n.known.len() > maxKnown {
+		t.Fatalf("known grew to %d, bound is %d", n.known.len(), maxKnown)
+	}
+	for _, e := range n.succs {
+		if !n.known.contains(e.ID) {
+			t.Fatalf("successor %v was evicted from known", e.ID)
+		}
+	}
+	if !n.known.contains(pred.ID) {
+		t.Fatalf("predecessor %v was evicted from known", pred.ID)
+	}
+}
+
+// TestSamplingDeterministic pins the satellite fix for map-order
+// sampling: gossip fanout and probe choice must be a pure function of
+// the node's ID-seeded RNG and its learn history, so two nodes with the
+// same ID and history sample identically.
+func TestSamplingDeterministic(t *testing.T) {
+	build := func() *Node {
+		n := NewNodeTransport(ident.FromUint64(42), newBenchTransport())
+		n.mu.Lock()
+		n.succs = []entry{peerEntry(2000)}
+		for i := 0; i < 64; i++ {
+			n.learnLocked(peerEntry(uint64(5000 + i*13)))
+		}
+		n.mu.Unlock()
+		return n
+	}
+	a, b := build(), build()
+	defer a.Close()
+	defer b.Close()
+	self := peerEntry(42)
+	a.mu.Lock()
+	b.mu.Lock()
+	for round := 0; round < 50; round++ {
+		ga, gb := a.gossipLocked(self), b.gossipLocked(self)
+		if !reflect.DeepEqual(ga, gb) {
+			t.Fatalf("round %d: gossip samples diverged:\na: %+v\nb: %+v", round, ga, gb)
+		}
+		pa, oka := a.pickProbeLocked()
+		pb, okb := b.pickProbeLocked()
+		if oka != okb || pa != pb {
+			t.Fatalf("round %d: probe picks diverged: %+v/%v vs %+v/%v", round, pa, oka, pb, okb)
+		}
+	}
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// TestGossipSamplesAreDistinct checks the sampler never packs the same
+// peer twice into one gossip payload and never includes more than the
+// fanout.
+func TestGossipSamplesAreDistinct(t *testing.T) {
+	n := NewNodeTransport(ident.FromUint64(7), newBenchTransport())
+	defer n.Close()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < 16; i++ {
+		n.learnLocked(peerEntry(uint64(1000 + i)))
+	}
+	self := peerEntry(7)
+	for round := 0; round < 200; round++ {
+		g := n.gossipLocked(self)
+		if len(g) > 1+gossipFanout {
+			t.Fatalf("gossip payload too large: %d entries", len(g))
+		}
+		if g[0] != self {
+			t.Fatal("gossip must lead with the node's own entry")
+		}
+		seen := map[ident.ID]bool{}
+		for _, e := range g {
+			if seen[e.ID] {
+				t.Fatalf("duplicate %v in gossip payload", e.ID)
+			}
+			seen[e.ID] = true
+		}
+	}
+}
+
+// TestPeerSetSampleSmall: a set no larger than the fanout is returned
+// whole, in sorted order.
+func TestPeerSetSampleSmall(t *testing.T) {
+	s := newPeerSet()
+	s.insert(peerEntry(30))
+	s.insert(peerEntry(10))
+	rng := rand.New(rand.NewSource(1))
+	got := s.sampleInto(nil, 3, rng, nil)
+	want := []entry{peerEntry(10), peerEntry(30)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("small sample = %+v, want whole set sorted %+v", got, want)
+	}
+}
+
+// captureTransport records where packets were sent.
+type captureTransport struct {
+	*benchTransport
+	mu   sync.Mutex
+	sent []string
+}
+
+func (c *captureTransport) Send(addr string, p []byte) error {
+	c.mu.Lock()
+	c.sent = append(c.sent, addr)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *captureTransport) lastSent() (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.sent) == 0 {
+		return "", false
+	}
+	return c.sent[len(c.sent)-1], true
+}
+
+// TestForwardFallsBackToKnownIndex: when no ring pointer makes greedy
+// progress, the forwarder consults the sorted known index instead of
+// dropping, and respects the exclusion.
+func TestForwardFallsBackToKnownIndex(t *testing.T) {
+	tr := &captureTransport{benchTransport: newBenchTransport()}
+	n := NewNodeTransport(ident.FromUint64(1000), tr)
+	defer n.Close()
+	n.mu.Lock()
+	n.succs = []entry{peerEntry(5000)} // overshoots dst: no ring progress
+	n.learnLocked(peerEntry(500))
+	n.learnLocked(peerEntry(2500))
+	n.learnLocked(peerEntry(2999))
+	n.mu.Unlock()
+
+	pkt := &wire.Packet{
+		Type: wire.TypeData, TTL: wire.DefaultTTL,
+		Dst: ident.FromUint64(3000), Src: ident.FromUint64(1),
+	}
+	if err := n.forward(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if addr, ok := tr.lastSent(); !ok || addr != "peer:2999" {
+		t.Fatalf("forwarded to %q (%v), want known-index hop peer:2999", addr, ok)
+	}
+	if err := n.forwardExcept(pkt, ident.FromUint64(2999)); err != nil {
+		t.Fatal(err)
+	}
+	if addr, _ := tr.lastSent(); addr != "peer:2500" {
+		t.Fatalf("excluded forward went to %q, want peer:2500", addr)
+	}
+	// With the destination's whole arc unknown, the packet still drops.
+	drop := &wire.Packet{Type: wire.TypeData, TTL: wire.DefaultTTL,
+		Dst: ident.FromUint64(1100), Src: ident.FromUint64(1)}
+	before := len(tr.sent)
+	if err := n.forward(drop); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sent) != before {
+		t.Fatal("packet with no legal hop anywhere must be dropped")
+	}
+}

@@ -1,7 +1,6 @@
 package vring
 
 import (
-	"container/heap"
 	"sort"
 
 	"rofl/internal/ident"
@@ -78,18 +77,52 @@ type lruRecord struct {
 	id    ident.ID
 }
 
+// lruHeap is a hand-rolled min-heap on stamp. container/heap would box
+// every pushed lruRecord into an interface{}, costing one allocation
+// per cache touch on the forwarding hot path; the monomorphic methods
+// below keep Lookup and Insert allocation-free in steady state.
 type lruHeap []lruRecord
 
-func (h lruHeap) Len() int            { return len(h) }
-func (h lruHeap) Less(i, j int) bool  { return h[i].stamp < h[j].stamp }
-func (h lruHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lruHeap) Push(x interface{}) { *h = append(*h, x.(lruRecord)) }
-func (h *lruHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	*h = old[:n-1]
-	return r
+func (h *lruHeap) push(r lruRecord) {
+	*h = append(*h, r)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].stamp <= s[i].stamp {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *lruHeap) pop() lruRecord {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].stamp < s[min].stamp {
+			min = l
+		}
+		if r < n && s[r].stamp < s[min].stamp {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // NewPointerCache returns a cache bounded to capacity entries;
@@ -148,7 +181,7 @@ func (c *PointerCache) Insert(p Pointer) {
 func (c *PointerCache) touch(i int) {
 	c.clock++
 	c.entries[i].lastUsed = c.clock
-	heap.Push(&c.lru, lruRecord{stamp: c.clock, id: c.entries[i].ID})
+	c.lru.push(lruRecord{stamp: c.clock, id: c.entries[i].ID})
 	if len(c.lru) > 4*c.cap+8 {
 		c.rebuildLRU()
 	}
@@ -161,12 +194,31 @@ func (c *PointerCache) rebuildLRU() {
 	for _, e := range c.entries {
 		c.lru = append(c.lru, lruRecord{stamp: e.lastUsed, id: e.ID})
 	}
-	heap.Init(&c.lru)
+	// Establish the heap invariant bottom-up (what heap.Init does).
+	s := c.lru
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			min := j
+			if l < len(s) && s[l].stamp < s[min].stamp {
+				min = l
+			}
+			if r < len(s) && s[r].stamp < s[min].stamp {
+				min = r
+			}
+			if min == j {
+				break
+			}
+			s[j], s[min] = s[min], s[j]
+			j = min
+		}
+	}
 }
 
 func (c *PointerCache) evictLRU() {
 	for len(c.lru) > 0 {
-		top := heap.Pop(&c.lru).(lruRecord)
+		top := c.lru.pop()
 		if i, ok := c.find(top.id); ok && c.entries[i].lastUsed == top.stamp {
 			c.entries = append(c.entries[:i], c.entries[i+1:]...)
 			return

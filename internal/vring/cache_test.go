@@ -301,3 +301,50 @@ func TestCacheStressSortedInvariant(t *testing.T) {
 		return true
 	})
 }
+
+// BenchmarkCacheLookupHit measures the forwarding-time cache probe at
+// capacity: a binary search over the sorted entries plus the LRU touch.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	const capacity = 1000
+	c := NewPointerCache(capacity)
+	ids := benchFillIDs(capacity)
+	for _, id := range ids {
+		c.Insert(Pointer{ID: id, Router: 1})
+	}
+	pos := ident.FromString("bench-pos")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Aim at a cached ID so the probe hits (self-distance is zero, so
+		// a cached dst always satisfies Progress unless pos == dst).
+		if _, ok := c.Lookup(pos, ids[i%capacity]); !ok {
+			b.Fatal("expected hit")
+		}
+	}
+}
+
+// TestLookupSteadyStateAllocs pins the forwarding-time cache probe at
+// zero allocations: after warmup the LRU heap's backing array has
+// reached its high-water mark, and neither the binary search nor the
+// touch may allocate again.
+func TestLookupSteadyStateAllocs(t *testing.T) {
+	const capacity = 512
+	c := NewPointerCache(capacity)
+	ids := benchFillIDs(capacity)
+	for _, id := range ids {
+		c.Insert(Pointer{ID: id, Router: 1})
+	}
+	pos := ident.FromString("alloc-pos")
+	// Warm up past a full heap-rebuild cycle so slice capacities settle.
+	for i := 0; i < 16*capacity; i++ {
+		c.Lookup(pos, ids[i%capacity])
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Lookup(pos, ids[i%capacity])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("PointerCache.Lookup allocates %v per op in steady state; want 0", avg)
+	}
+}

@@ -6,12 +6,15 @@ import (
 )
 
 // FuzzDecodeRoundTrip feeds arbitrary bytes to the decoder (it must
-// never panic) and, when they parse, re-encodes and re-decodes to verify
-// the codec is a lossless fixed point.
+// never panic) and, when they parse, re-encodes to verify the codec is
+// strict: a successful decode consumes the input exactly — no trailing
+// garbage, no non-canonical encodings — so re-encoding must reproduce
+// the input byte for byte.
 func FuzzDecodeRoundTrip(f *testing.F) {
 	seed := samplePacket()
 	buf, _ := seed.Marshal()
 	f.Add(buf)
+	f.Add(append(append([]byte{}, buf...), 0x00)) // trailing byte must be rejected
 	f.Add([]byte{})
 	f.Add([]byte{Version, byte(TypeData)})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -23,16 +26,8 @@ func FuzzDecodeRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decoded packet failed to re-encode: %v", err)
 		}
-		var q Packet
-		if err := q.DecodeFromBytes(out); err != nil {
-			t.Fatalf("re-encoded packet failed to decode: %v", err)
-		}
-		out2, err := q.Marshal()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(out, out2) {
-			t.Fatal("encode/decode is not a fixed point")
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode accepted a non-canonical encoding:\nin:  %x\nout: %x", data, out)
 		}
 	})
 }

@@ -122,6 +122,10 @@ var (
 	ErrBadVersion = errors.New("wire: unsupported version")
 	ErrBadType    = errors.New("wire: unknown packet type")
 	ErrTooLong    = errors.New("wire: field exceeds limit")
+	// ErrTrailing reports bytes after the declared payload: the encoding
+	// is exact-length, so trailing garbage means a corrupt or hostile
+	// datagram, not padding to be ignored.
+	ErrTrailing = errors.New("wire: trailing bytes after packet")
 )
 
 // EncodedLen returns the exact size AppendTo will produce.
@@ -165,7 +169,10 @@ func (p *Packet) Marshal() ([]byte, error) {
 }
 
 // DecodeFromBytes parses b into p, copying the variable-length sections
-// so p does not alias b after return.
+// so p does not alias b after return. The encoding is exact-length:
+// b must contain one whole packet and nothing else, or ErrTrailing is
+// returned. Decoding reuses p's slice capacity, so a packet reused
+// across datagrams decodes without allocating in steady state.
 func (p *Packet) DecodeFromBytes(b []byte) error {
 	if len(b) < fixedHeaderLen {
 		return fmt.Errorf("%w: %d < %d header bytes", ErrTruncated, len(b), fixedHeaderLen)
@@ -201,6 +208,9 @@ func (p *Packet) DecodeFromBytes(b []byte) error {
 	if len(b) < need {
 		return fmt.Errorf("%w: have %d bytes, need %d", ErrTruncated, len(b), need)
 	}
+	if len(b) > need {
+		return fmt.Errorf("%w: %d bytes after the %d-byte packet", ErrTrailing, len(b)-need, need)
+	}
 	p.ASRoute = p.ASRoute[:0]
 	for i := 0; i < nRoute; i++ {
 		p.ASRoute = append(p.ASRoute, binary.BigEndian.Uint32(b[off:]))
@@ -210,6 +220,23 @@ func (p *Packet) DecodeFromBytes(b []byte) error {
 	off += nCap
 	p.Payload = append(p.Payload[:0], b[off:off+nPay]...)
 	return nil
+}
+
+// Clone returns a deep copy of p: the copy shares no slice backing with
+// the original, so it stays valid after the original is reused to
+// decode the next datagram.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.ASRoute != nil {
+		q.ASRoute = append(make([]uint32, 0, len(p.ASRoute)), p.ASRoute...)
+	}
+	if p.Capability != nil {
+		q.Capability = append(make([]byte, 0, len(p.Capability)), p.Capability...)
+	}
+	if p.Payload != nil {
+		q.Payload = append(make([]byte, 0, len(p.Payload)), p.Payload...)
+	}
+	return &q
 }
 
 // PushAS appends asn to the in-packet source route, as each AS does when

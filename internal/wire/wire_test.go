@@ -239,3 +239,117 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMarshalAlloc measures Marshal into a fresh buffer — the
+// allocating path send uses when no buffer is pooled.
+func BenchmarkMarshalAlloc(b *testing.B) {
+	p := samplePacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeFresh measures decoding into a zero Packet each time —
+// the cost before the read loop reused its packet across datagrams.
+func BenchmarkDecodeFresh(b *testing.B) {
+	buf, _ := samplePacket().Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var q Packet
+		if err := q.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeRejectsTrailingBytes pins the strictness of the decoder:
+// the wire format is exact-length, so any bytes after the declared
+// payload are a malformed datagram, not ignorable padding.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	buf, err := samplePacket().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	if err := p.DecodeFromBytes(buf); err != nil {
+		t.Fatalf("exact packet must decode: %v", err)
+	}
+	for _, extra := range [][]byte{{0x00}, {0xff}, make([]byte, 100)} {
+		bad := append(append([]byte{}, buf...), extra...)
+		err := p.DecodeFromBytes(bad)
+		if !errors.Is(err, ErrTrailing) {
+			t.Fatalf("%d trailing bytes: want ErrTrailing, got %v", len(extra), err)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := samplePacket()
+	q := p.Clone()
+	if !bytes.Equal(mustMarshal(t, p), mustMarshal(t, q)) {
+		t.Fatal("clone differs from original")
+	}
+	// Mutating the original's slices must not reach the clone.
+	p.Payload[0] ^= 0xff
+	p.Capability[0] ^= 0xff
+	p.ASRoute[0]++
+	r := samplePacket()
+	if !bytes.Equal(mustMarshal(t, q), mustMarshal(t, r)) {
+		t.Fatal("clone shares backing arrays with the original")
+	}
+}
+
+func mustMarshal(t *testing.T, p *Packet) []byte {
+	t.Helper()
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMarshalAllocs pins the encoder's allocation budget: AppendTo into
+// a pre-sized buffer must not allocate at all, and Marshal exactly once
+// (the output buffer).
+func TestMarshalAllocs(t *testing.T) {
+	p := samplePacket()
+	buf := make([]byte, 0, p.EncodedLen())
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := p.AppendTo(buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("AppendTo allocates %v per op with a sized buffer; want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := p.Marshal(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Fatalf("Marshal allocates %v per op; want ≤1 (the output buffer)", avg)
+	}
+}
+
+// TestDecodeSteadyStateAllocs pins the decoder at zero allocations when
+// the destination packet is reused, the contract the overlay read loop
+// relies on.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	buf, err := samplePacket().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	if err := p.DecodeFromBytes(buf); err != nil { // warm slice capacities
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if err := p.DecodeFromBytes(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("DecodeFromBytes allocates %v per op into a reused packet; want 0", avg)
+	}
+}
