@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos fuzz bench bench-compare
+.PHONY: all build test race lint chaos fuzz bench bench-compare cluster-smoke
 
 all: build test lint
 
@@ -17,6 +17,7 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./internal/sim/... ./internal/experiments/... ./internal/vring/...
 	$(GO) test -race -shuffle=on ./internal/netem/... ./internal/overlay/...
+	$(GO) test -race -shuffle=on ./internal/telemetry/... ./internal/cluster/...
 
 # Project invariants (internal/lint). staticcheck and govulncheck run
 # in CI as well but need network access to install; they are skipped
@@ -28,6 +29,14 @@ lint:
 
 chaos:
 	$(GO) test -race -run 'TestChaos|TestJoinAndSend|TestJoinSurvives' -count=3 -timeout 15m ./internal/overlay/
+
+# Live churn drill: 50 real-UDP nodes with per-node metrics endpoints,
+# seeded kill/restart churn, reconvergence, and metrics-scrape
+# assertions (nonzero forward counters on every survivor, nonzero
+# eviction counters after churn). The 200-node acceptance drill is
+# `go run ./cmd/roflnode cluster -n 200 -seed 1 -churn`.
+cluster-smoke:
+	$(GO) run ./cmd/roflnode cluster -n 50 -seed 1 -churn -timeout 60s
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeRoundTrip -fuzztime=10s ./internal/wire

@@ -212,15 +212,19 @@ type ScopedAnalyzer struct {
 // Suite returns rofllint's analyzers with their package scopes:
 //
 //   - determinism runs on the seeded-RNG packages (sim, experiments,
-//     netem), whose outputs must be pure functions of their seeds;
+//     netem) and the observability/supervision packages (telemetry,
+//     cluster), whose outputs must be pure functions of their seeds —
+//     metric scrapes, churn schedules, and journals are compared
+//     byte-for-byte across runs;
 //   - lockorder runs on the concurrent protocol packages (overlay,
-//     vring);
+//     vring) and on telemetry and cluster, which hold locks around
+//     registry and supervisor state;
 //   - wirecomplete and identcmp run everywhere (identcmp excludes the
 //     ident package itself, which implements the comparison helpers).
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
-		{DeterminismAnalyzer, pathIsAny("rofl/internal/sim", "rofl/internal/experiments", "rofl/internal/netem")},
-		{LockOrderAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/vring")},
+		{DeterminismAnalyzer, pathIsAny("rofl/internal/sim", "rofl/internal/experiments", "rofl/internal/netem", "rofl/internal/telemetry", "rofl/internal/cluster")},
+		{LockOrderAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/vring", "rofl/internal/telemetry", "rofl/internal/cluster")},
 		{WireCompleteAnalyzer, func(string) bool { return true }},
 		{IdentCmpAnalyzer, func(p string) bool { return p != "rofl/internal/ident" }},
 	}

@@ -22,6 +22,7 @@ type Fault struct {
 	rng       *rand.Rand
 	params    LinkParams
 	stats     LinkStats
+	ins       *Instruments
 	busyUntil time.Time
 	timers    map[*time.Timer]struct{}
 	closed    bool
@@ -36,6 +37,14 @@ func WrapFault(inner Transport, params LinkParams, seed int64) *Fault {
 		params: params,
 		timers: make(map[*time.Timer]struct{}),
 	}
+}
+
+// SetInstruments mirrors subsequent per-send fate counts into ins (nil
+// detaches). The counters accumulate the same deltas as Stats.
+func (f *Fault) SetInstruments(ins *Instruments) {
+	f.mu.Lock()
+	f.ins = ins
+	f.mu.Unlock()
 }
 
 // SetParams replaces the fault schedule for subsequent sends.
@@ -65,6 +74,7 @@ func (f *Fault) Send(addr string, p []byte) error {
 	delays, stats := plan(f.rng, f.params, len(p), time.Now(), &f.busyUntil)
 	stats.Delivered = uint64(len(delays)) // no inbox on the far side to drop at
 	f.stats.add(stats)
+	f.ins.add(stats)
 	var buf []byte
 	if len(delays) > 0 {
 		buf = append([]byte(nil), p...)

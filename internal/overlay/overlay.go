@@ -166,13 +166,40 @@ type Node struct {
 	// stale (reordered or duplicated by the network).
 	recentStab map[uint64]struct{}
 	stabFIFO   []uint64
+	// quar holds peers this node itself declared dead, mapped to the
+	// number of stabilize rounds the verdict still stands. While
+	// quarantined, a peer cannot be re-adopted as successor from hearsay
+	// (gossip and stabilize replies from third parties that have not yet
+	// purged the corpse from their own pointers) — without this, small
+	// rings livelock: the eviction is undone microseconds later by the
+	// live peer's reply and the dead successor flaps forever. Direct
+	// contact from the peer itself (a stabilize request, join, or
+	// liveness packet it sent) is proof of life and lifts the quarantine
+	// immediately, so a healed partition or a false positive recovers at
+	// network speed.
+	quar map[ident.ID]int
 
 	deliveries chan Delivery
 	dropCount  atomic.Uint64 // deliveries dropped on a full channel
 	gate       Gate
 
+	// ins is the telemetry wiring, swapped atomically so SetTelemetry
+	// is safe against a running read loop. Never nil: an unwired node
+	// carries a zero Instruments (all handles nil and nil-safe), which
+	// keeps the hot path branch-free and allocation-free.
+	ins atomic.Pointer[Instruments]
+
 	stabilizeStop chan struct{}
 	stabilizeOnce sync.Once
+	// Liveness detector state (see liveness.go): the BFD-style probe
+	// loop, its current monitoring target, consecutive unanswered probe
+	// windows, and the target's advertised receive-interval floor.
+	livenessStop   chan struct{}
+	livenessOnce   sync.Once
+	liveness       LivenessParams
+	bfdTarget      entry
+	bfdMisses      int
+	bfdRemoteMinRx time.Duration
 	// succMisses counts consecutive stabilization rounds without a reply
 	// from the current successor; past a threshold the successor is
 	// declared dead and the group shifts down (§2.2 successor-groups).
@@ -216,9 +243,11 @@ func NewNodeTransport(id ident.ID, tr netem.Transport) *Node {
 		known:      newPeerSet(),
 		rng:        rand.New(rand.NewSource(int64(id.Low64()))),
 		recentStab: make(map[uint64]struct{}),
+		quar:       make(map[ident.ID]int),
 		deliveries: make(chan Delivery, 64),
 		done:       make(chan struct{}),
 	}
+	n.ins.Store(&Instruments{})
 	n.wg.Add(1)
 	go n.readLoop()
 	return n
@@ -264,10 +293,14 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	stop := n.stabilizeStop
+	lstop := n.livenessStop
 	n.mu.Unlock()
 	close(n.done)
 	if stop != nil {
 		n.stabilizeOnce.Do(func() { close(stop) })
+	}
+	if lstop != nil {
+		n.livenessOnce.Do(func() { close(lstop) })
 	}
 	err := n.tr.Close()
 	n.wg.Wait()
@@ -285,6 +318,14 @@ const succFailThreshold = 4
 // on the predecessor's own timer) and a false clear briefly opens the
 // ring to a worse claimant.
 const predFailThreshold = 8
+
+// quarantineRounds is how many of this node's stabilize rounds an
+// evicted-as-dead peer stays barred from hearsay re-adoption. It must
+// outlast the slowest purge on live peers — a predecessor pointer naming
+// the corpse survives predFailThreshold+1 of the peer's rounds — with
+// margin for drift between timers. Quarantine never delays a live peer's
+// return: its own packets lift it immediately.
+const quarantineRounds = 3 * (predFailThreshold + 1)
 
 // StartStabilize runs Chord-style stabilization every interval: the node
 // asks its successor for the successor's current predecessor and adopts
@@ -380,31 +421,67 @@ func (n *Node) pickProbeLocked() (entry, bool) {
 	})
 }
 
+// dropSuccessorLocked removes dead from the head of the successor
+// group, shifting the group down (collapsing to a self-ring when it
+// empties) and clearing a predecessor pointer naming the same peer. The
+// dead peer stays in known so a later repair probe can find it again if
+// it was only partitioned away. Caller holds n.mu and owns reporting:
+// each removal is counted and logged exactly once, by whichever
+// detector (stabilize timer or liveness probes) declared the death.
+func (n *Node) dropSuccessorLocked(dead entry) {
+	if len(n.succs) == 0 || n.succs[0].ID != dead.ID {
+		return
+	}
+	n.succs = n.succs[1:]
+	if len(n.succs) == 0 {
+		n.succs = []entry{{ID: n.id, Addr: n.tr.LocalAddr()}}
+	}
+	if n.pred != nil && n.pred.ID == dead.ID {
+		n.pred = nil
+	}
+	n.succMisses = 0
+	n.lastSucc = nil
+	n.quar[dead.ID] = quarantineRounds
+}
+
 func (n *Node) stabilizeOnceRound() {
+	ins := n.ins.Load()
+	ins.StabilizeRounds.Inc()
 	n.mu.Lock()
 	if n.closed || len(n.succs) == 0 {
 		n.mu.Unlock()
 		return
 	}
 	self := entry{ID: n.id, Addr: n.tr.LocalAddr()}
+	// Age the quarantine: a verdict this node reached expires after
+	// enough rounds for every live peer to have purged the corpse too.
+	for id, left := range n.quar {
+		if left <= 1 {
+			delete(n.quar, id)
+		} else {
+			n.quar[id] = left - 1
+		}
+	}
 	// A predecessor that has not sent us a stabilize request in many
 	// rounds is dead or unreachable; clear it so a live claimant can be
 	// adopted (a stale pointer would otherwise block better askers
 	// forever — the Between test only admits improvements).
+	var predCleared *entry
 	if n.pred != nil && n.pred.ID != n.id {
 		n.predMisses++
 		if n.predMisses > predFailThreshold {
+			p := *n.pred
+			predCleared = &p
 			n.pred = nil
 			n.predMisses = 0
 		}
 	}
+	var evicted *entry
 	var succPkt *wire.Packet
 	var succAddr string
 	if n.succs[0].ID != n.id {
 		// A successor that stays silent across several rounds is dead:
-		// shift the group down. If the group empties, collapse to a
-		// self-ring; the dead peer stays in known so a later repair
-		// probe can find it again if it was only partitioned away.
+		// shift the group down (dropSuccessorLocked).
 		if n.lastSucc == nil || *n.lastSucc != n.succs[0].ID {
 			cur := n.succs[0].ID
 			n.lastSucc = &cur
@@ -413,14 +490,8 @@ func (n *Node) stabilizeOnceRound() {
 		n.succMisses++
 		if n.succMisses > succFailThreshold {
 			dead := n.succs[0]
-			n.succs = n.succs[1:]
-			if len(n.succs) == 0 {
-				n.succs = []entry{self}
-			}
-			if n.pred != nil && n.pred.ID == dead.ID {
-				n.pred = nil
-			}
-			n.succMisses = 0
+			n.dropSuccessorLocked(dead)
+			evicted = &dead
 		}
 		if succ := n.succs[0]; succ.ID != n.id {
 			n.reqSeq++
@@ -448,6 +519,16 @@ func (n *Node) stabilizeOnceRound() {
 		probeAddr = probe.Addr
 	}
 	n.mu.Unlock()
+	if predCleared != nil {
+		ins.PredClears.Inc()
+		ins.Events.Info("pred_cleared",
+			"peer", predCleared.ID.Short(), "addr", predCleared.Addr, "reason", "stabilize-silence")
+	}
+	if evicted != nil {
+		ins.SuccEvictions.Inc()
+		ins.Events.Warn("succ_evicted",
+			"peer", evicted.ID.Short(), "addr", evicted.Addr, "reason", "stabilize-timeout")
+	}
 	if succPkt != nil {
 		_ = n.send(succAddr, succPkt)
 	}
@@ -464,6 +545,7 @@ func (n *Node) handleStabilize(pkt *wire.Packet) {
 	// The request carries the asker first, then gossiped peers.
 	asker := es[0]
 	n.mu.Lock()
+	delete(n.quar, asker.ID) // the asker spoke for itself: proof of life
 	for _, e := range es {
 		n.learnLocked(e)
 	}
@@ -515,6 +597,7 @@ func (n *Node) handleStabilizeReply(pkt *wire.Packet, from string) {
 		return // stale, duplicated, or unsolicited reply
 	}
 	delete(n.recentStab, pkt.ReqID)
+	delete(n.quar, pkt.Src) // the responder spoke for itself: proof of life
 	n.learnLocked(responder)
 	for _, e := range es {
 		n.learnLocked(e)
@@ -534,6 +617,9 @@ func (n *Node) handleStabilizeReply(pkt *wire.Packet, from string) {
 		if c.ID == n.id {
 			continue
 		}
+		if _, dead := n.quar[c.ID]; dead {
+			continue // hearsay cannot resurrect a peer this node saw die
+		}
 		if ident.Between(c.ID, n.id, n.succs[0].ID) && c.ID != n.succs[0].ID {
 			n.succs = append([]entry{c}, n.succs...)
 		}
@@ -549,6 +635,9 @@ func (n *Node) handleStabilizeReply(pkt *wire.Packet, from string) {
 		}
 		if e.ID == n.id || containsID(group, e.ID) {
 			continue
+		}
+		if _, dead := n.quar[e.ID]; dead {
+			continue // keep quarantined corpses out of the fallback group too
 		}
 		group = append(group, e)
 	}
@@ -656,6 +745,7 @@ func (n *Node) resolve(pkt *wire.Packet) {
 // process the request more than once — handlers are idempotent — and any
 // one reply completes the exchange.
 func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*wire.Packet, error) {
+	ins := n.ins.Load()
 	id, ch, err := n.register()
 	if err != nil {
 		return nil, err
@@ -670,7 +760,18 @@ func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*w
 	if backoff <= 0 {
 		backoff = timeout
 	}
+	// exhausted reports the retry budget running dry: the structured
+	// event and counter every operator-facing timeout goes through.
+	exhausted := func(attempt int) error {
+		ins.RequestTimeouts.Inc()
+		ins.Events.Warn("request_timeout",
+			"type", pkt.Type.String(), "to", addr, "attempts", attempt, "timeout", timeout)
+		return fmt.Errorf("%w after %d attempts", ErrTimeout, attempt)
+	}
 	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			ins.Retransmits.Inc()
+		}
 		if err := n.send(addr, pkt); err != nil {
 			return nil, err
 		}
@@ -679,7 +780,7 @@ func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*w
 			wait = rem
 		}
 		if wait <= 0 {
-			return nil, fmt.Errorf("%w after %d attempts", ErrTimeout, attempt)
+			return nil, exhausted(attempt)
 		}
 		t := time.NewTimer(wait)
 		select {
@@ -691,7 +792,7 @@ func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*w
 			return nil, ErrClosed
 		case <-t.C:
 			if !time.Now().Before(deadline) {
-				return nil, fmt.Errorf("%w after %d attempts", ErrTimeout, attempt)
+				return nil, exhausted(attempt)
 			}
 			backoff = time.Duration(float64(backoff) * retry.Multiplier)
 			if retry.Max > 0 && backoff > retry.Max {
@@ -843,6 +944,7 @@ func (n *Node) handle(pkt *wire.Packet, from string) {
 			n.mu.Unlock()
 			if gate != nil {
 				if err := gate(pkt.Src, pkt.Capability); err != nil {
+					n.ins.Load().GateDrops.Inc()
 					return // default-off: drop unauthorized traffic
 				}
 			}
@@ -850,6 +952,7 @@ func (n *Node) handle(pkt *wire.Packet, from string) {
 			return
 		}
 		if pkt.TTL == 0 {
+			n.ins.Load().TTLDrops.Inc()
 			return
 		}
 		pkt.TTL--
@@ -864,6 +967,10 @@ func (n *Node) handle(pkt *wire.Packet, from string) {
 		n.handleStabilize(pkt)
 	case wire.TypeStabilizeReply:
 		n.handleStabilizeReply(pkt, from)
+	case wire.TypeLiveness:
+		n.handleLivenessProbe(pkt, from)
+	case wire.TypeLivenessReply:
+		n.handleLivenessReply(pkt, from)
 	}
 }
 
@@ -871,10 +978,13 @@ func (n *Node) handle(pkt *wire.Packet, from string) {
 // read loop: when the consumer is not draining, the packet is dropped
 // and counted instead.
 func (n *Node) deliver(d Delivery) {
+	ins := n.ins.Load()
 	select {
 	case n.deliveries <- d:
+		ins.Delivered.Inc()
 	default:
 		n.dropCount.Add(1)
+		ins.DeliveryDrops.Inc()
 	}
 }
 
@@ -922,11 +1032,14 @@ func (n *Node) forwardExcept(pkt *wire.Packet, exclude ident.ID) error {
 		bestAddr = e.Addr
 	}
 	n.mu.Unlock()
+	ins := n.ins.Load()
 	if bestAddr == "" {
 		// We are the destination's predecessor and it is not present:
 		// drop (the overlay has no parked ephemerals).
+		ins.NoRouteDrops.Inc()
 		return nil
 	}
+	ins.Forwards.Inc()
 	return n.send(bestAddr, pkt)
 }
 
@@ -951,6 +1064,7 @@ func (n *Node) handleJoin(pkt *wire.Packet) {
 		n.mu.Unlock()
 		return // not bootstrapped yet
 	}
+	delete(n.quar, joiner.ID) // a joiner is alive by definition
 	n.learnLocked(joiner)
 	succ := n.succs[0]
 	isPred := succ.ID == n.id || ident.Between(joiner.ID, n.id, succ.ID)
@@ -987,6 +1101,9 @@ func (n *Node) handleJoin(pkt *wire.Packet) {
 	oldSucc := succ
 	n.mu.Unlock()
 
+	ins := n.ins.Load()
+	ins.JoinsServed.Inc()
+	ins.Events.Info("join_served", "joiner", joiner.ID.Short(), "addr", joiner.Addr)
 	out := &wire.Packet{
 		Type: wire.TypeJoinReply, TTL: wire.DefaultTTL,
 		Dst: joiner.ID, Src: n.id, ReqID: pkt.ReqID,

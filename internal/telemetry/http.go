@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server is one node's observability endpoint: an HTTP listener
+// exposing
+//
+//	/metrics  the registry in Prometheus text exposition format
+//	/ring     the node's ring snapshot as JSON (whatever the ring
+//	          callback returns — the overlay hands back successors,
+//	          predecessor, and pointer-cache occupancy)
+//	/healthz  200 when the health callback returns nil, 503 otherwise
+//
+// Bind to host:0 to let the kernel allocate the port; Addr reports the
+// bound address. The callbacks run per request and must be safe for
+// concurrent use.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewServer starts the endpoint on addr. ring and health may be nil
+// (the routes then serve an empty object and plain 200 respectively).
+func NewServer(addr string, reg *Registry, ring func() any, health func() error) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/ring", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snapshot any = struct{}{}
+		if ring != nil {
+			snapshot = ring()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshot)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound host:port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the endpoint's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}

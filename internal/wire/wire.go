@@ -45,6 +45,14 @@ const (
 	TypeStabilize
 	// TypeStabilizeReply answers with the predecessor pointer.
 	TypeStabilizeReply
+	// TypeLiveness is a BFD-style liveness probe (RFC 5880 echo of the
+	// idea, not the bit layout): the payload advertises the sender's
+	// desired transmit and required receive intervals plus its detect
+	// multiplier, so the pair negotiates the probe rate.
+	TypeLiveness
+	// TypeLivenessReply answers a probe with the responder's own
+	// interval advertisement.
+	TypeLivenessReply
 	typeMax
 )
 
@@ -71,6 +79,10 @@ func (t Type) String() string {
 		return "stabilize"
 	case TypeStabilizeReply:
 		return "stabilize-reply"
+	case TypeLiveness:
+		return "liveness"
+	case TypeLivenessReply:
+		return "liveness-reply"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"rofl/internal/canon"
+	"rofl/internal/cluster"
 	"rofl/internal/composite"
 	"rofl/internal/delivery"
 	"rofl/internal/experiments"
@@ -12,6 +13,7 @@ import (
 	"rofl/internal/overlay"
 	"rofl/internal/secure"
 	"rofl/internal/sim"
+	"rofl/internal/telemetry"
 	"rofl/internal/topology"
 	"rofl/internal/vring"
 )
@@ -317,6 +319,87 @@ type EmulatedNetwork = netem.Network
 // seed.
 func NewEmulatedNetwork(seed int64) *EmulatedNetwork {
 	return netem.NewNetwork(seed)
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry & observability
+// ---------------------------------------------------------------------------
+
+// TelemetryRegistry holds named counters, gauges, and histograms and
+// renders them in Prometheus text format.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// EventLog writes structured JSON-lines events with level filtering.
+type EventLog = telemetry.EventLog
+
+// EventLevel orders event severities.
+type EventLevel = telemetry.Level
+
+// Event severities, least to most severe.
+const (
+	LevelDebug = telemetry.LevelDebug
+	LevelInfo  = telemetry.LevelInfo
+	LevelWarn  = telemetry.LevelWarn
+	LevelError = telemetry.LevelError
+)
+
+// NewEventLog writes events at or above min to w as JSON lines.
+func NewEventLog(w io.Writer, min EventLevel) *EventLog { return telemetry.NewEventLog(w, min) }
+
+// TelemetryServer serves /metrics, /ring, and /healthz for one node.
+type TelemetryServer = telemetry.Server
+
+// NewTelemetryServer listens on addr ("127.0.0.1:0" picks a free port)
+// and serves reg's metrics, ring's snapshot, and health's verdict.
+func NewTelemetryServer(addr string, reg *TelemetryRegistry, ring func() any, health func() error) (*TelemetryServer, error) {
+	return telemetry.NewServer(addr, reg, ring, health)
+}
+
+// OverlayStatus is an overlay node's ring snapshot (the /ring payload).
+type OverlayStatus = overlay.Status
+
+// LivenessParams shapes the overlay's BFD-style adaptive failure
+// detector: probe intervals are negotiated per-pair and a successor is
+// declared dead after Multiplier unanswered probes.
+type LivenessParams = overlay.LivenessParams
+
+// DefaultLivenessParams detects a dead successor in roughly 40ms.
+func DefaultLivenessParams() LivenessParams { return overlay.DefaultLivenessParams() }
+
+// NewFaultInstruments resolves per-fate packet counters in reg for use
+// with FaultTransport.SetInstruments.
+func NewFaultInstruments(reg *TelemetryRegistry) *netem.Instruments {
+	return netem.NewInstruments(reg)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster supervision
+// ---------------------------------------------------------------------------
+
+// ClusterConfig shapes a supervised in-process cluster.
+type ClusterConfig = cluster.Config
+
+// ClusterSupervisor launches, observes, churns, and drains N overlay
+// nodes, each with its own metrics registry and HTTP endpoint.
+type ClusterSupervisor = cluster.Supervisor
+
+// ClusterMember is one supervised node slot.
+type ClusterMember = cluster.Member
+
+// ClusterEvent is one churn action (kill or restart).
+type ClusterEvent = cluster.Event
+
+// NewCluster prepares a supervisor; Start launches the nodes.
+func NewCluster(cfg ClusterConfig) *ClusterSupervisor { return cluster.New(cfg) }
+
+// ClusterSchedule derives a seed-reproducible churn schedule: kills
+// target live nodes, restarts target dead ones, and at least half the
+// cluster stays alive at every step.
+func ClusterSchedule(seed int64, n, steps int) []ClusterEvent {
+	return cluster.Schedule(seed, n, steps)
 }
 
 // ---------------------------------------------------------------------------
