@@ -19,11 +19,15 @@ race:
 	$(GO) test -race -shuffle=on ./internal/netem/... ./internal/overlay/...
 	$(GO) test -race -shuffle=on ./internal/telemetry/... ./internal/cluster/...
 
-# Project invariants (internal/lint). staticcheck and govulncheck run
-# in CI as well but need network access to install; they are skipped
-# here when absent.
+# Project invariants (internal/lint): the analyzer suite, then the
+# ignore-budget gate — the live per-analyzer suppression counts must
+# match the committed lint.budget, so new ignores are reviewed, not
+# accumulated. staticcheck and govulncheck run in CI as well but need
+# network access to install; they are skipped here when absent.
 lint:
 	$(GO) run ./cmd/rofllint ./...
+	$(GO) run ./cmd/rofllint -ignores ./... | diff -u lint.budget - \
+		|| { echo "ignore counts drifted from lint.budget; audit the new suppressions and update the budget"; exit 1; }
 	@command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed; skipping"
 	@command -v govulncheck >/dev/null && govulncheck ./... || echo "govulncheck not installed; skipping"
 

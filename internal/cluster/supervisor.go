@@ -121,6 +121,18 @@ func (m *Member) UplinkStats() netem.LinkStats {
 	return f.Stats()
 }
 
+// The supervisor's event catalog: every structured event type it emits
+// to the cluster journal (documented in DESIGN.md §9).
+//
+//rofllint:metrics
+const (
+	eventNodeStarted      = "node_started"
+	eventNodeKilled       = "node_killed"
+	eventNodeRestarted    = "node_restarted"
+	eventClusterConverged = "cluster_converged"
+	eventClusterDrained   = "cluster_drained"
+)
+
 // Supervisor launches, observes, churns, and drains a cluster of
 // in-process overlay nodes.
 type Supervisor struct {
@@ -287,7 +299,7 @@ func (s *Supervisor) Start() error {
 		if s.cfg.EnableLiveness {
 			node.StartLiveness(s.cfg.Liveness)
 		}
-		s.log.Info("node_started", "node", m.Index, "id", m.id.Short(), "addr", node.Addr())
+		s.log.Info(eventNodeStarted, "node", m.Index, "id", m.id.Short(), "addr", node.Addr())
 	}
 	return nil
 }
@@ -316,7 +328,7 @@ func (s *Supervisor) Kill(i int) error {
 
 	node.Close()
 	srv.Close()
-	s.log.Warn("node_killed", "node", i, "id", m.id.Short())
+	s.log.Warn(eventNodeKilled, "node", i, "id", m.id.Short())
 	return nil
 }
 
@@ -351,7 +363,7 @@ func (s *Supervisor) Restart(i int) error {
 	if s.cfg.EnableLiveness {
 		node.StartLiveness(s.cfg.Liveness)
 	}
-	s.log.Info("node_restarted", "node", i, "id", m.id.Short(), "addr", node.Addr())
+	s.log.Info(eventNodeRestarted, "node", i, "id", m.id.Short(), "addr", node.Addr())
 	return nil
 }
 
@@ -423,7 +435,7 @@ func (s *Supervisor) AwaitConverged(timeout time.Duration) error {
 	}
 	for i := 0; i < rounds; i++ {
 		if s.Converged() {
-			s.log.Info("cluster_converged", "live", s.liveCount())
+			s.log.Info(eventClusterConverged, "live", s.liveCount())
 			return nil
 		}
 		t := time.NewTimer(s.cfg.Poll)
@@ -471,6 +483,6 @@ func (s *Supervisor) Close() error {
 		}
 	}
 	s.wg.Wait()
-	s.log.Info("cluster_drained")
+	s.log.Info(eventClusterDrained)
 	return nil
 }

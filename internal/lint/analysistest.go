@@ -75,7 +75,10 @@ func RunTest(t *testing.T, a *Analyzer) {
 		t.Fatalf("type-checking corpus: %v", err)
 	}
 	pkg := &Package{ImportPath: a.Name, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
-	got, err := RunAnalyzer(a, pkg)
+	// The corpus package is its own whole program: hot-path roots,
+	// atomic fields, and catalogs are all declared inside it.
+	prog := NewProgram([]*Package{pkg})
+	got, err := RunAnalyzer(a, prog, pkg)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

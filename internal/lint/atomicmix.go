@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMixAnalyzer enforces atomic-access discipline: a struct field
+// that is ever operated on through the function-style sync/atomic API
+// (atomic.AddInt64(&x.f, …), atomic.LoadUint32(&x.f), …) must never be
+// read or written plainly anywhere in the program. Mixing the two is a
+// data race even when it happens to survive the race detector's
+// schedules: the plain access can be torn, cached, or reordered. The
+// typed atomics (atomic.Int64 et al.) make this mistake unrepresentable
+// — which is why the production code prefers them — but the function
+// style keeps showing up in ports and benchmarks, so the invariant is
+// checked program-wide: the fact "field F is atomic" is collected
+// across every loaded package, then every plain selector access to F is
+// flagged.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field ever accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+// AtomicFields returns the set of field keys (pkgpath.Type.Field) whose
+// address is passed to a function-style sync/atomic call anywhere in
+// the program. Computed once per Program.
+func (prog *Program) AtomicFields() map[string]bool {
+	prog.atomicOnce.Do(func() {
+		prog.atomicFields = make(map[string]bool)
+		for _, pkg := range prog.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for _, sel := range atomicFieldArgs(pkg.Info, call) {
+						if key := fieldSelKey(pkg.Info, sel); key != "" {
+							prog.atomicFields[key] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+	return prog.atomicFields
+}
+
+// atomicFieldArgs returns the field selectors whose address call passes
+// to a function-style sync/atomic operation; nil when call is not one.
+func atomicFieldArgs(info *types.Info, call *ast.CallExpr) []*ast.SelectorExpr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, isSig := fn.Type().(*types.Signature); !isSig || sig.Recv() != nil {
+		return nil // typed-atomic method, not the function-style API
+	}
+	var out []*ast.SelectorExpr
+	for _, arg := range call.Args {
+		ue, isAddr := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !isAddr || ue.Op != token.AND {
+			continue
+		}
+		if fieldSel, isSel := ast.Unparen(ue.X).(*ast.SelectorExpr); isSel {
+			out = append(out, fieldSel)
+		}
+	}
+	return out
+}
+
+// fieldSelKey renders a stable identity for a field selection,
+// "pkgpath.Type.Field", or "" when sel is not a struct-field access.
+// The key intentionally ignores which instance is accessed: the
+// invariant is a property of the field declaration, not of one value.
+func fieldSelKey(info *types.Info, sel *ast.SelectorExpr) string {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	field := selection.Obj()
+	if field.Pkg() == nil {
+		return ""
+	}
+	typeName := "?"
+	if nt := namedType(selection.Recv()); nt != nil {
+		typeName = nt.Obj().Name()
+	}
+	var b strings.Builder
+	b.WriteString(field.Pkg().Path())
+	b.WriteByte('.')
+	b.WriteString(typeName)
+	b.WriteByte('.')
+	b.WriteString(field.Name())
+	return b.String()
+}
+
+func runAtomicMix(pass *Pass) error {
+	if pass.Prog == nil {
+		return errNoProgram
+	}
+	atomicFields := pass.Prog.AtomicFields()
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// First mark the sanctioned accesses: selectors whose address is
+		// a direct argument of a sync/atomic call.
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				for _, sel := range atomicFieldArgs(pass.Info, call) {
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+		// Then every other access to an atomic field is a plain — racy —
+		// access.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key := fieldSelKey(pass.Info, sel)
+			if key == "" || !atomicFields[key] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races with those operations — use the atomic API here too, or migrate the field to a typed atomic", key)
+			return true
+		})
+	}
+	return nil
+}

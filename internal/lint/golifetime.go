@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLifetimeAnalyzer proves that goroutines are joined. The supervisor
+// restarts nodes across incarnations, so an unjoined goroutine is not a
+// one-off leak but a leak *per churn event*: a thousand-node run with
+// ten restarts each quietly accumulates ten thousand parked goroutines
+// and their stacks. The analyzer accepts two join disciplines for each
+// go statement:
+//
+//   - WaitGroup: the goroutine body defers a sync.WaitGroup Done, and a
+//     matching Add on the same WaitGroup field precedes the go
+//     statement in the spawning function;
+//   - stop channel: the goroutine body selects on a channel receive
+//     whose case returns, so closing the channel retires it.
+//
+// Spawns whose target cannot be resolved statically (function values,
+// interface methods) are flagged at the go statement: if the target is
+// dynamic, its lifetime is unauditable.
+var GoLifetimeAnalyzer = &Analyzer{
+	Name: "golifetime",
+	Doc:  "every go statement must be provably joined via WaitGroup or stop-channel select",
+	Run:  runGoLifetime,
+}
+
+func runGoLifetime(pass *Pass) error {
+	if pass.Prog == nil {
+		return errNoProgram
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkGoStmts(fd.Body, fd.Body, func(g *ast.GoStmt, encl *ast.BlockStmt) {
+				checkGoStmt(pass, g, encl)
+			})
+		}
+	}
+	return nil
+}
+
+// walkGoStmts visits every go statement under n, tracking the body of
+// the innermost enclosing function (the scope searched for a preceding
+// WaitGroup.Add).
+func walkGoStmts(n ast.Node, encl *ast.BlockStmt, visit func(*ast.GoStmt, *ast.BlockStmt)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch nn := node.(type) {
+		case *ast.GoStmt:
+			visit(nn, encl)
+			// The spawned literal's own body is a new enclosing scope
+			// for any nested spawns.
+			if lit, ok := nn.Call.Fun.(*ast.FuncLit); ok {
+				walkGoStmts(lit.Body, lit.Body, visit)
+			}
+			return false
+		case *ast.FuncLit:
+			if nn != n {
+				walkGoStmts(nn.Body, nn.Body, visit)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkGoStmt resolves one go statement's target and verifies a join
+// discipline.
+func checkGoStmt(pass *Pass, g *ast.GoStmt, encl *ast.BlockStmt) {
+	var (
+		body     *ast.BlockStmt
+		bodyInfo *types.Info
+	)
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body, bodyInfo = lit.Body, pass.Info
+	} else {
+		fn := calleeOf(pass.Info, g.Call)
+		if fn == nil {
+			pass.Reportf(g.Pos(), "go statement spawns through a function value; the target cannot be audited for joining — spawn a function literal or a named function")
+			return
+		}
+		if isInterfaceMethod(fn) {
+			pass.Reportf(g.Pos(), "go statement spawns an interface method; the dynamic target cannot be audited for joining — spawn through a concrete function")
+			return
+		}
+		fi := pass.Prog.Funcs[funcKey(fn)]
+		if fi == nil {
+			pass.Reportf(g.Pos(), "go statement spawns %s, which is outside the analyzed program and cannot be proven to join", funcKey(fn))
+			return
+		}
+		body, bodyInfo = fi.Decl.Body, fi.Pkg.Info
+	}
+
+	wgName, hasDone := deferredWaitGroupDone(bodyInfo, body)
+	if hasDone {
+		if !waitGroupAddBefore(pass.Info, encl, g, wgName) {
+			pass.Reportf(g.Pos(), "goroutine defers %s.Done but no matching %s.Add(…) precedes the go statement; Add must happen-before the spawn or Wait can return early", wgName, wgName)
+		}
+		return
+	}
+	if hasStopSelect(body) {
+		return
+	}
+	pass.Reportf(g.Pos(), "go statement is not provably joined: the goroutine body has neither a deferred sync.WaitGroup Done nor a stop-channel select that returns; under supervised restarts this leaks one goroutine per incarnation")
+}
+
+// isWaitGroup reports whether t (possibly behind a pointer) is
+// sync.WaitGroup, matched by name so corpora importing the real sync
+// package and export-data-loaded packages agree.
+func isWaitGroup(t types.Type) bool {
+	nt := namedType(t)
+	if nt == nil || nt.Obj().Pkg() == nil {
+		return false
+	}
+	return nt.Obj().Name() == "WaitGroup" && nt.Obj().Pkg().Path() == "sync"
+}
+
+// exprLastName returns the final identifier of a receiver expression —
+// "wg" for both n.wg and s.node.wg — which is how a Done in the
+// goroutine body is matched to an Add in the spawning function even
+// when the two name the receiver differently.
+func exprLastName(e ast.Expr) string {
+	switch ee := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return ee.Name
+	case *ast.SelectorExpr:
+		return ee.Sel.Name
+	}
+	return ""
+}
+
+// deferredWaitGroupDone reports whether the goroutine body (not nested
+// literals, whose defers do not join this goroutine) defers a Done on a
+// sync.WaitGroup, returning the WaitGroup expression's last name.
+func deferredWaitGroupDone(info *types.Info, body *ast.BlockStmt) (string, bool) {
+	name, found := "", false
+	inspectShallow(body, func(n ast.Node) {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return
+		}
+		sel, ok := ast.Unparen(ds.Call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return
+		}
+		if isWaitGroup(info.TypeOf(sel.X)) {
+			name, found = exprLastName(sel.X), true
+		}
+	})
+	return name, found
+}
+
+// waitGroupAddBefore reports whether the enclosing function body calls
+// Add on a WaitGroup with the given last name at a position before the
+// go statement.
+func waitGroupAddBefore(info *types.Info, encl *ast.BlockStmt, g *ast.GoStmt, wgName string) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if isWaitGroup(info.TypeOf(sel.X)) && exprLastName(sel.X) == wgName {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// hasStopSelect reports whether the goroutine body (not nested
+// literals) contains a select with a channel-receive case that returns
+// — the stop-channel discipline.
+func hasStopSelect(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || found {
+			return
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil || !isReceiveComm(cc.Comm) {
+				continue
+			}
+			for _, stmt := range cc.Body {
+				if returnsOrBreaksLoop(stmt) {
+					found = true
+					return
+				}
+			}
+		}
+	})
+	return found
+}
+
+// isReceiveComm reports whether a select comm clause is a channel
+// receive (`<-ch`, `v := <-ch`, `v, ok := <-ch`).
+func isReceiveComm(s ast.Stmt) bool {
+	var expr ast.Expr
+	switch ss := s.(type) {
+	case *ast.ExprStmt:
+		expr = ss.X
+	case *ast.AssignStmt:
+		if len(ss.Rhs) == 1 {
+			expr = ss.Rhs[0]
+		}
+	}
+	if expr == nil {
+		return false
+	}
+	ue, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	return ok && ue.Op == token.ARROW
+}
+
+// returnsOrBreaksLoop reports whether stmt terminates the goroutine's
+// loop: a return, or a statement list ending in return.
+func returnsOrBreaksLoop(stmt ast.Stmt) bool {
+	switch ss := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		for _, s := range ss.List {
+			if returnsOrBreaksLoop(s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inspectShallow walks n without descending into nested function
+// literals: evidence inside a nested goroutine does not join the outer
+// one.
+func inspectShallow(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, isLit := node.(*ast.FuncLit); isLit && node != n {
+			return false
+		}
+		if node != nil {
+			visit(node)
+		}
+		return true
+	})
+}

@@ -14,7 +14,18 @@
 //     constructed with unkeyed composite literals;
 //   - identcmp: flat labels are points on a circle; linear byte-order
 //     comparisons of ident.ID outside the ident package are forbidden
-//     unless they are documented tie-breaks or sorted-storage probes.
+//     unless they are documented tie-breaks or sorted-storage probes;
+//   - hotpath: functions annotated //rofllint:hotpath and everything
+//     statically reachable from them must be allocation-free — the
+//     static, whole-graph version of the AllocsPerRun spot checks;
+//   - metricname: metric handles are nil-safe, so a typo'd series name
+//     silently no-ops; every Registry resolution and EventLog event
+//     type must be a constant from the package's //rofllint:metrics
+//     catalog, cross-checked against DESIGN.md §9;
+//   - atomicmix: a field ever touched via sync/atomic must never be
+//     read or written plainly;
+//   - golifetime: every go statement in the runtime packages must be
+//     provably joined (deferred WaitGroup.Done or stop-channel select).
 //
 // The framework is a deliberately small, dependency-free subset of
 // golang.org/x/tools/go/analysis (the container builds offline), sharing
@@ -59,6 +70,14 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// ImportPath is the package's import path (the corpus package name
+	// under analysistest).
+	ImportPath string
+	// Prog is the whole loaded program: every package the driver
+	// loaded, indexed into the conservative call graph. Intraprocedural
+	// analyzers ignore it; the callgraph-aware ones (hotpath,
+	// golifetime, metricname) resolve cross-package facts through it.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -159,14 +178,19 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 
 // RunAnalyzer applies a to pkg and returns the surviving diagnostics:
 // findings not covered by an ignore directive, plus one diagnostic per
-// malformed directive.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// malformed directive. prog is the whole loaded program (the call graph
+// spanning every package the driver loaded); pass it even when running
+// a single analyzer over a single package so the callgraph-aware
+// analyzers can resolve cross-package reachability.
+func RunAnalyzer(a *Analyzer, prog *Program, pkg *Package) ([]Diagnostic, error) {
 	pass := &Pass{
-		Analyzer: a,
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		ImportPath: pkg.ImportPath,
+		Prog:       prog,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
@@ -220,13 +244,27 @@ type ScopedAnalyzer struct {
 //     vring) and on telemetry and cluster, which hold locks around
 //     registry and supervisor state;
 //   - wirecomplete and identcmp run everywhere (identcmp excludes the
-//     ident package itself, which implements the comparison helpers).
+//     ident package itself, which implements the comparison helpers);
+//   - hotpath and atomicmix run everywhere: hot-path reachability
+//     crosses package boundaries (wire, vring, ident, telemetry are all
+//     reachable from the overlay's read loop), and atomic discipline is
+//     a property of any field anywhere;
+//   - metricname runs on the packages that resolve telemetry series and
+//     emit events (overlay, cluster, netem);
+//   - golifetime runs on the goroutine-spawning runtime packages
+//     (overlay, cluster, telemetry), where the supervisor restarts
+//     nodes across incarnations and a leaked goroutine per churn event
+//     would be an unbounded leak.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
 		{DeterminismAnalyzer, pathIsAny("rofl/internal/sim", "rofl/internal/experiments", "rofl/internal/netem", "rofl/internal/telemetry", "rofl/internal/cluster")},
 		{LockOrderAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/vring", "rofl/internal/telemetry", "rofl/internal/cluster")},
 		{WireCompleteAnalyzer, func(string) bool { return true }},
 		{IdentCmpAnalyzer, func(p string) bool { return p != "rofl/internal/ident" }},
+		{HotPathAnalyzer, func(string) bool { return true }},
+		{MetricNameAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/cluster", "rofl/internal/netem")},
+		{AtomicMixAnalyzer, func(string) bool { return true }},
+		{GoLifetimeAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/cluster", "rofl/internal/telemetry")},
 	}
 }
 

@@ -1,10 +1,15 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
+	"os"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -12,6 +17,159 @@ func TestDeterminism(t *testing.T)  { RunTest(t, DeterminismAnalyzer) }
 func TestLockOrder(t *testing.T)    { RunTest(t, LockOrderAnalyzer) }
 func TestWireComplete(t *testing.T) { RunTest(t, WireCompleteAnalyzer) }
 func TestIdentCmp(t *testing.T)     { RunTest(t, IdentCmpAnalyzer) }
+func TestHotPath(t *testing.T)      { RunTest(t, HotPathAnalyzer) }
+func TestMetricName(t *testing.T)   { RunTest(t, MetricNameAnalyzer) }
+func TestAtomicMix(t *testing.T)    { RunTest(t, AtomicMixAnalyzer) }
+func TestGoLifetime(t *testing.T)   { RunTest(t, GoLifetimeAnalyzer) }
+
+// checkSource type-checks one import-free source file into a Package
+// for tests that need a program smaller than a corpus.
+func checkSource(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, importPath+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, err := (&types.Config{}).Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: importPath, Dir: ".", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// Deleting a //rofllint:hotpath annotation from a pinned root must be a
+// finding: the checked graph must not silently shrink.
+func TestHotPathRequiredRoots(t *testing.T) {
+	old := requiredHotRoots
+	requiredHotRoots = map[string][]string{
+		"roots": {"(*T).Fast", "(*T).Gone", "(*T).Missing"},
+	}
+	defer func() { requiredHotRoots = old }()
+
+	pkg := checkSource(t, "roots", `package roots
+
+type T struct{}
+
+//rofllint:hotpath
+func (t *T) Fast() {}
+
+func (t *T) Gone() {}
+`)
+	diags, err := RunAnalyzer(HotPathAnalyzer, NewProgram([]*Package{pkg}), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "(*T).Gone is a required hot-path root and must carry //rofllint:hotpath") {
+		t.Errorf("missing un-annotated-root finding in:\n%s", joined)
+	}
+	if !strings.Contains(joined, "required hot-path root roots.(*T).Missing not found") {
+		t.Errorf("missing missing-root finding in:\n%s", joined)
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly 2 findings, got %d:\n%s", len(diags), joined)
+	}
+}
+
+// loadRepo loads and indexes the real module once for the tests that
+// assert whole-repo properties.
+var loadRepo = sync.OnceValues(func() (*Program, error) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		return nil, err
+	}
+	return NewProgram(pkgs), nil
+})
+
+// The committed repository must be lint-clean: the full suite over the
+// full module yields zero findings. This is the same run CI performs
+// via cmd/rofllint, kept as a test so `go test ./...` catches
+// regressions without a separate driver invocation.
+func TestModuleLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	prog, err := loadRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		for _, sa := range Suite() {
+			if !sa.Applies(pkg.ImportPath) {
+				continue
+			}
+			diags, err := RunAnalyzer(sa.Analyzer, prog, pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}
+
+// Every catalog constant must be documented in DESIGN.md §9.
+func TestCrossCheckDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	prog, err := loadRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Catalogs()) == 0 {
+		t.Fatal("no //rofllint:metrics catalogs found in the module; the overlay and netem instrument catalogs should be annotated")
+	}
+	for _, d := range CrossCheckDesign(prog, design) {
+		t.Errorf("%s", d)
+	}
+}
+
+// The suppression surface is budgeted: per-analyzer ignore counts must
+// match the committed golden file, so growing the budget is a reviewed
+// diff, not drift.
+func TestIgnoreBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	prog, err := loadRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("../../lint.budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CountIgnores(prog)
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, counts[k])
+	}
+	if got, want := b.String(), string(golden); got != want {
+		t.Errorf("ignore budget drifted from lint.budget; if the new suppressions are justified, update the golden file\ngot:\n%swant:\n%s", got, want)
+	}
+}
 
 // A suppression without a reason is itself a diagnostic: suppressions
 // stay audited.

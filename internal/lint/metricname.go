@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MetricNameAnalyzer guards the telemetry namespace. Registry handles
+// are nil-safe and get-or-create, so a typo'd series name silently
+// registers a fresh series nobody reads while the intended one never
+// moves — the worst observability failure, because nothing errors. The
+// analyzer therefore requires every series resolution
+// (Registry.Counter/Gauge/Histogram) and every structured event type
+// (EventLog.Emit/Debug/Info/Warn/Error) to be a named constant declared
+// in the package's single metric catalog: a const block annotated
+//
+//	//rofllint:metrics
+//
+// Inline literals, non-constant names, and constants declared outside
+// the catalog are findings. The catalog is additionally cross-checked
+// against DESIGN.md §9 by CrossCheckDesign (run by cmd/rofllint and the
+// lint tests), closing the loop between code and the documented metric
+// namespace.
+var MetricNameAnalyzer = &Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry series and event names must be constants from the package's //rofllint:metrics catalog",
+	Run:  runMetricName,
+}
+
+// metricsDirective is the catalog annotation on a const block.
+const metricsDirective = "//rofllint:metrics"
+
+// catalogConst is one constant declared inside a //rofllint:metrics
+// catalog block.
+type catalogConst struct {
+	Name  string
+	Value string // the constant's string value
+	Pos   token.Pos
+	Pkg   *Package
+}
+
+// catalogIndex is one package's catalog: the annotated const blocks and
+// the constants they declare.
+type catalogIndex struct {
+	decls  []*ast.GenDecl
+	consts []catalogConst
+}
+
+// Catalogs indexes every //rofllint:metrics const block in the program,
+// keyed by import path. Computed once per Program.
+func (prog *Program) Catalogs() map[string]*catalogIndex {
+	prog.catOnce.Do(func() {
+		prog.catalogs = make(map[string]*catalogIndex)
+		for _, pkg := range prog.Packages {
+			idx := &catalogIndex{}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.CONST || gd.Doc == nil {
+						continue
+					}
+					annotated := false
+					for _, c := range gd.Doc.List {
+						if strings.HasPrefix(c.Text, metricsDirective) {
+							annotated = true
+							break
+						}
+					}
+					if !annotated {
+						continue
+					}
+					idx.decls = append(idx.decls, gd)
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							cn, ok := pkg.Info.Defs[name].(*types.Const)
+							if !ok || cn.Val() == nil || cn.Val().Kind() != constant.String {
+								continue
+							}
+							idx.consts = append(idx.consts, catalogConst{
+								Name:  name.Name,
+								Value: constant.StringVal(cn.Val()),
+								Pos:   name.Pos(),
+								Pkg:   pkg,
+							})
+						}
+					}
+				}
+			}
+			if len(idx.decls) > 0 {
+				prog.catalogs[pkg.ImportPath] = idx
+			}
+		}
+	})
+	return prog.catalogs
+}
+
+func runMetricName(pass *Pass) error {
+	if pass.Prog == nil {
+		return errNoProgram
+	}
+	catalogs := pass.Prog.Catalogs()
+
+	// Single-catalog rule: one annotated block per package, reported in
+	// the owning package's pass.
+	if idx := catalogs[pass.ImportPath]; idx != nil {
+		for _, extra := range idx.decls[1:] {
+			pass.Reportf(extra.Pos(), "package %s declares more than one //rofllint:metrics catalog; merge them into a single const block", pass.ImportPath)
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg, kind, ok := telemetryNameArg(pass, call)
+			if !ok {
+				return true
+			}
+			checkMetricName(pass, catalogs, arg, kind)
+			return true
+		})
+	}
+	return nil
+}
+
+// telemetryNameArg recognizes a telemetry resolution or emission and
+// returns the expression carrying the series/event name plus a label
+// for diagnostics.
+func telemetryNameArg(pass *Pass, call *ast.CallExpr) (ast.Expr, string, bool) {
+	recv, name, ok := methodCall(pass, call)
+	if !ok {
+		return nil, "", false
+	}
+	nt := namedType(pass.TypeOf(recv))
+	if nt == nil || nt.Obj().Pkg() == nil || nt.Obj().Pkg().Name() != "telemetry" {
+		return nil, "", false
+	}
+	switch nt.Obj().Name() {
+	case "Registry":
+		switch name {
+		case "Counter", "Gauge", "Histogram":
+			if len(call.Args) >= 1 {
+				return call.Args[0], "metric series name", true
+			}
+		}
+	case "EventLog":
+		switch name {
+		case "Emit":
+			if len(call.Args) >= 2 {
+				return call.Args[1], "event type", true
+			}
+		case "Debug", "Info", "Warn", "Error":
+			if len(call.Args) >= 1 {
+				return call.Args[0], "event type", true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// checkMetricName enforces the constant-from-catalog rule on one name
+// expression.
+func checkMetricName(pass *Pass, catalogs map[string]*catalogIndex, arg ast.Expr, kind string) {
+	arg = ast.Unparen(arg)
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil {
+		pass.Reportf(arg.Pos(), "%s is not a compile-time constant; a typo here silently no-ops forever — use a constant from the //rofllint:metrics catalog", kind)
+		return
+	}
+	// Resolve the referenced constant object.
+	var id *ast.Ident
+	switch e := arg.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		pass.Reportf(arg.Pos(), "%s is an inline literal; declare it in the //rofllint:metrics catalog so the namespace has one source of truth", kind)
+		return
+	}
+	cn, ok := pass.Info.Uses[id].(*types.Const)
+	if !ok || cn.Pkg() == nil {
+		pass.Reportf(arg.Pos(), "%s does not resolve to a declared constant; use a constant from the //rofllint:metrics catalog", kind)
+		return
+	}
+	declPkg := pass.Prog.PackageByPath(cn.Pkg().Path())
+	if declPkg == nil {
+		pass.Reportf(arg.Pos(), "%s constant %s is declared outside the analyzed program; move it into a //rofllint:metrics catalog", kind, id.Name)
+		return
+	}
+	idx := catalogs[declPkg.ImportPath]
+	if idx != nil {
+		for _, gd := range idx.decls {
+			if gd.Pos() <= cn.Pos() && cn.Pos() <= gd.End() {
+				return // declared inside the catalog: the sanctioned path
+			}
+		}
+	}
+	pass.Reportf(arg.Pos(), "%s constant %s is not declared in the //rofllint:metrics catalog of %s", kind, id.Name, declPkg.ImportPath)
+}
+
+// CrossCheckDesign verifies the catalog against the documentation:
+// every constant declared in a //rofllint:metrics block must appear in
+// the §9 (operations & observability) section of DESIGN.md — metric
+// constants by their family (the text before '{'), event constants
+// verbatim. A catalog entry missing from the design doc is either an
+// undocumented series or a typo on one side; both deserve a finding.
+// design is the raw DESIGN.md text; diagnostics carry the "metricname"
+// analyzer name so //rofllint:ignore works uniformly.
+func CrossCheckDesign(prog *Program, design []byte) []Diagnostic {
+	sec := designSection9(design)
+	var out []Diagnostic
+	for _, path := range sortedCatalogPaths(prog) {
+		idx := prog.Catalogs()[path]
+		for _, cc := range idx.consts {
+			family := cc.Value
+			if i := strings.IndexByte(family, '{'); i >= 0 {
+				family = family[:i]
+			}
+			if family == "" || bytes.Contains(sec, []byte(family)) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      cc.Pkg.Fset.Position(cc.Pos),
+				Analyzer: "metricname",
+				Message:  "catalog constant " + cc.Name + " (" + family + ") is not documented in DESIGN.md §9; document the series or fix the name",
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// designSection9 slices the §9 section out of DESIGN.md; when the
+// heading is missing the whole document is searched.
+func designSection9(design []byte) []byte {
+	start := bytes.Index(design, []byte("\n## 9."))
+	if start < 0 {
+		return design
+	}
+	rest := design[start+1:]
+	if end := bytes.Index(rest[3:], []byte("\n## ")); end >= 0 {
+		return rest[:3+end]
+	}
+	return rest
+}
+
+func sortedCatalogPaths(prog *Program) []string {
+	cats := prog.Catalogs()
+	paths := make([]string, 0, len(cats))
+	for p := range cats {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}

@@ -1,0 +1,43 @@
+// Corpus for the atomicmix analyzer: a field ever touched through the
+// function-style sync/atomic API must never be accessed plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64 // never touched atomically: plain access is fine
+	ready atomic.Bool
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1) // fine: the sanctioned access
+}
+
+func (c *counters) load() int64 {
+	return atomic.LoadInt64(&c.hits) // fine
+}
+
+func (c *counters) plainRead() int64 {
+	return c.hits // want "field atomicmix.counters.hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) plainWrite() {
+	c.hits = 0 // want "field atomicmix.counters.hits is accessed with sync/atomic elsewhere"
+	c.total++  // fine: total has no atomic history
+}
+
+func (c *counters) alias() *int64 {
+	return &c.hits // want "field atomicmix.counters.hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) typedOK() bool {
+	// Typed atomics make mixing unrepresentable; their methods are not
+	// the function-style API and create no mixed-access exposure.
+	return c.ready.Load()
+}
+
+func (c *counters) audited() int64 {
+	//rofllint:ignore atomicmix read happens in the constructor before any goroutine can observe c
+	return c.hits
+}

@@ -1,0 +1,81 @@
+// Corpus for the golifetime analyzer: every go statement must be
+// provably joined via a WaitGroup or a stop-channel select.
+package golifetime
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func work() {}
+
+func (w *worker) startJoined() {
+	w.wg.Add(1)
+	go func() { // fine: Add before spawn, deferred Done inside
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+func (w *worker) startStopChannel() {
+	go func() { // fine: stop-channel select with a returning case
+		for {
+			select {
+			case <-w.stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func (w *worker) startMethod() {
+	w.wg.Add(1)
+	go w.loop() // fine: loop defers w.wg.Done
+}
+
+func (w *worker) loop() {
+	defer w.wg.Done()
+	work()
+}
+
+func (w *worker) startNaked() {
+	go work() // want "go statement is not provably joined"
+}
+
+func (w *worker) startNoAdd() {
+	go func() { // want "goroutine defers wg.Done but no matching wg.Add"
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+func startDynamic(f func()) {
+	go f() // want "go statement spawns through a function value"
+}
+
+type runner interface{ Run() }
+
+func startIface(r runner) {
+	go r.Run() // want "go statement spawns an interface method"
+}
+
+func startExternal(m *sync.Mutex) {
+	go m.Unlock() // want "outside the analyzed program and cannot be proven to join"
+}
+
+func startAudited() {
+	//rofllint:ignore golifetime fire-and-forget flush, bounded by process exit in tests only
+	go work()
+}
+
+func (w *worker) nested() {
+	w.wg.Add(1)
+	go func() { // fine: joined
+		defer w.wg.Done()
+		go work() // want "go statement is not provably joined"
+	}()
+}

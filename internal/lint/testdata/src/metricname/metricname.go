@@ -1,0 +1,47 @@
+// Corpus for the metricname analyzer: series and event names must be
+// constants declared in the package's single //rofllint:metrics
+// catalog.
+package metricname
+
+import "rofl/internal/telemetry"
+
+// The package's metric catalog: the single source of truth for series
+// and event names.
+//
+//rofllint:metrics
+const (
+	metricGood = "rofl_test_packets_total"
+	eventGood  = "test_event"
+)
+
+// stray is a constant, but not a catalog constant.
+const stray = "rofl_stray_total"
+
+func resolve(reg *telemetry.Registry, log *telemetry.EventLog, dyn string) {
+	reg.Counter(metricGood) // fine: catalog constant
+	c := reg.Counter(metricGood)
+	c.Inc() // handle methods take no names; nothing to check
+
+	reg.Gauge("rofl_inline_total") // want "metric series name is an inline literal"
+	reg.Histogram(stray, nil)      // want "metric series name constant stray is not declared in the //rofllint:metrics catalog of metricname"
+	reg.Counter(dyn)               // want "metric series name is not a compile-time constant"
+
+	log.Info(eventGood) // fine: catalog constant
+	log.Emit(telemetry.LevelInfo, "oops")  // want "event type is an inline literal"
+	log.Warn(stray)                        // want "event type constant stray is not declared in the //rofllint:metrics catalog of metricname"
+	log.Error(eventGood, "detail", dyn)    // fine: kv values are unconstrained
+	log.Emit(telemetry.LevelDebug, eventGood, "k", 1) // fine
+
+	reg.Counter("rofl_migration_total") //rofllint:ignore metricname migration shim until the series moves into the catalog
+}
+
+// A second annotated block splits the namespace's source of truth.
+//
+//rofllint:metrics
+const ( // want "package metricname declares more than one //rofllint:metrics catalog"
+	eventDup = "dup_event"
+)
+
+func useDup(log *telemetry.EventLog) {
+	log.Info(eventDup) // fine: still a catalog constant, the block itself is the finding
+}

@@ -170,7 +170,7 @@ func (n *Node) livenessTick() {
 	if failed {
 		ins.LivenessFailovers.Inc()
 		ins.SuccEvictions.Inc()
-		ins.Events.Warn("succ_evicted",
+		ins.Events.Warn(eventSuccEvicted,
 			"peer", dead.ID.Short(), "addr", dead.Addr, "reason", "liveness-timeout")
 		return
 	}
@@ -183,6 +183,8 @@ func (n *Node) livenessTick() {
 // proves it is alive (BFD asynchronous mode with the passive role). A
 // probe from the current predecessor also refreshes the predecessor
 // liveness signal the stabilize detector reads.
+//
+//rofllint:coldpath liveness control message, paced by the BFD interval, not per forwarded packet
 func (n *Node) handleLivenessProbe(pkt *wire.Packet, from string) {
 	n.mu.Lock()
 	delete(n.quar, pkt.Src) // a probing peer is alive by definition
@@ -205,6 +207,8 @@ func (n *Node) handleLivenessProbe(pkt *wire.Packet, from string) {
 // advertised MinRx as the negotiation floor. A liveness reply is also
 // proof enough for the stabilize-timer detector: a successor that
 // answers probes must not be evicted for losing stabilize replies.
+//
+//rofllint:coldpath liveness control message, paced by the BFD interval, not per forwarded packet
 func (n *Node) handleLivenessReply(pkt *wire.Packet, from string) {
 	n.mu.Lock()
 	delete(n.quar, pkt.Src) // an answering peer is alive by definition

@@ -126,6 +126,8 @@ func (s *peerSet) pick(rng *rand.Rand, skip func(ident.ID) bool) (entry, bool) {
 // followed by at most a short counter-clockwise walk past excluded
 // entries: the same lookup structure vring's pointer cache uses, here
 // over the overlay's known set.
+//
+//rofllint:hotpath
 func (s *peerSet) bestProgress(cur, dst, exclude ident.ID) (entry, bool) {
 	m := len(s.ids)
 	if m == 0 {

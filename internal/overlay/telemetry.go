@@ -35,24 +35,33 @@ type Instruments struct {
 	Events *telemetry.EventLog
 }
 
-// Metric series the overlay registers, one handle per Instruments
-// field. Families with a reason/kind dimension share a name and split
-// by label.
+// The overlay's metric and event catalog: every series the node
+// registers and every structured event type it emits, in one place
+// (documented in DESIGN.md §9). Families with a reason/kind dimension
+// share a name and split by label.
+//
+//rofllint:metrics
 const (
-	metricForward         = "rofl_overlay_forward_total"
-	metricDropNoRoute     = `rofl_overlay_drop_total{reason="no_route"}`
-	metricDropTTL         = `rofl_overlay_drop_total{reason="ttl"}`
-	metricDropGate        = `rofl_overlay_drop_total{reason="gate"}`
-	metricDropSlow        = `rofl_overlay_drop_total{reason="slow_consumer"}`
-	metricDelivered       = "rofl_overlay_delivered_total"
-	metricRetransmit      = "rofl_overlay_retransmit_total"
-	metricReqTimeout      = "rofl_overlay_request_timeout_total"
-	metricStabilizeRound  = "rofl_overlay_stabilize_round_total"
-	metricJoinServed      = "rofl_overlay_join_served_total"
-	metricEvictSucc       = `rofl_overlay_eviction_total{kind="successor"}`
-	metricEvictPred       = `rofl_overlay_eviction_total{kind="predecessor"}`
-	metricLivenessProbe   = "rofl_overlay_liveness_probe_total"
+	metricForward          = "rofl_overlay_forward_total"
+	metricDropNoRoute      = `rofl_overlay_drop_total{reason="no_route"}`
+	metricDropTTL          = `rofl_overlay_drop_total{reason="ttl"}`
+	metricDropGate         = `rofl_overlay_drop_total{reason="gate"}`
+	metricDropSlow         = `rofl_overlay_drop_total{reason="slow_consumer"}`
+	metricDelivered        = "rofl_overlay_delivered_total"
+	metricRetransmit       = "rofl_overlay_retransmit_total"
+	metricReqTimeout       = "rofl_overlay_request_timeout_total"
+	metricStabilizeRound   = "rofl_overlay_stabilize_round_total"
+	metricJoinServed       = "rofl_overlay_join_served_total"
+	metricEvictSucc        = `rofl_overlay_eviction_total{kind="successor"}`
+	metricEvictPred        = `rofl_overlay_eviction_total{kind="predecessor"}`
+	metricLivenessProbe    = "rofl_overlay_liveness_probe_total"
 	metricLivenessFailover = "rofl_overlay_liveness_failover_total"
+
+	// Structured event types (EventLog).
+	eventPredCleared    = "pred_cleared"
+	eventSuccEvicted    = "succ_evicted"
+	eventRequestTimeout = "request_timeout"
+	eventJoinServed     = "join_served"
 )
 
 // SetTelemetry wires the node's counters into reg and its structured

@@ -25,6 +25,11 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 
+	// wg joins the Serve goroutine so Close does not return — and a
+	// supervised node does not count itself stopped — while the acceptor
+	// is still running.
+	wg sync.WaitGroup
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -68,7 +73,11 @@ func NewServer(addr string, reg *Registry, ring func() any, health func() error)
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 	}
-	go func() { _ = s.srv.Serve(ln) }()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
@@ -78,8 +87,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the endpoint's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the listener and in-flight handlers.
+// Close stops the listener and in-flight handlers, then waits for the
+// acceptor goroutine to exit.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	s.wg.Wait()
 	return s.closeErr
 }

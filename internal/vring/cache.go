@@ -265,6 +265,8 @@ func (c *PointerCache) RemoveRouter(r RouterID) int {
 
 // Lookup returns the cached pointer closest to dst without overshooting,
 // given current position pos, marking it recently used.
+//
+//rofllint:hotpath
 func (c *PointerCache) Lookup(pos, dst ident.ID) (Pointer, bool) {
 	// View the entries as pointers without copying: bestMatch needs IDs
 	// in sorted order, which c.entries maintains.
