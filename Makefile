@@ -16,7 +16,7 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./internal/sim/... ./internal/experiments/... ./internal/vring/...
-	$(GO) test -race -shuffle=on ./internal/netem/... ./internal/overlay/...
+	$(GO) test -race -shuffle=on ./internal/proto/... ./internal/netem/... ./internal/overlay/...
 	$(GO) test -race -shuffle=on ./internal/telemetry/... ./internal/cluster/...
 
 # Project invariants (internal/lint): the analyzer suite, then the
@@ -51,7 +51,7 @@ fuzz:
 # against the committed baseline and fails on >15% ns/op regressions.
 # Override BENCH_LABEL / BENCH_BASELINE to record against another point.
 BENCH_LABEL ?= ci
-BENCH_BASELINE ?= BENCH_pr6.json
+BENCH_BASELINE ?= BENCH_pr9.json
 
 bench:
 	$(GO) run ./cmd/roflbench run -label $(BENCH_LABEL) -benchtime 500ms -o BENCH_$(BENCH_LABEL).json

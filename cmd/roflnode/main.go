@@ -126,10 +126,6 @@ func nodeMain() int {
 		tr = faults
 	}
 
-	id := rofl.IDFromString(*name)
-	node := rofl.NewOverlayNodeTransport(id, tr)
-	defer node.Close()
-
 	eventsW, closeEvents, err := openEvents(*events)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "roflnode: events: %v\n", err)
@@ -140,7 +136,25 @@ func nodeMain() int {
 	if eventsW != nil {
 		log = rofl.NewEventLog(eventsW, rofl.LevelInfo)
 	}
-	node.SetTelemetry(reg, log)
+
+	// One construction carries the whole configuration: transport,
+	// telemetry wiring, and the maintenance loops. Without stabilization
+	// the pointers learned at join time rot, and without the liveness
+	// detector a dead successor lingers for the stabilize-round failure
+	// threshold, so both default on.
+	id := rofl.IDFromString(*name)
+	node, err := rofl.NewOverlayNode(id, rofl.NodeConfig{
+		Transport:      tr,
+		Registry:       reg,
+		Events:         log,
+		Stabilize:      *stabilize,
+		EnableLiveness: *stabilize > 0 && *bfd,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roflnode: %v\n", err)
+		return 1
+	}
+	defer node.Close()
 
 	if *metricsAddr != "" {
 		srv, err := rofl.NewTelemetryServer(*metricsAddr, reg,
@@ -168,16 +182,6 @@ func nodeMain() int {
 			return 1
 		}
 		fmt.Printf("joined via %s; label %s at %s\n", *join, id.Short(), node.Addr())
-	}
-
-	// Keep the ring live: without stabilization the pointers learned at
-	// join time rot, and without the liveness detector a dead successor
-	// lingers for succFailThreshold stabilize rounds.
-	if *stabilize > 0 {
-		node.StartStabilize(*stabilize)
-		if *bfd {
-			node.StartLiveness(rofl.DefaultLivenessParams())
-		}
 	}
 
 	// Print deliveries as they arrive.

@@ -2,6 +2,7 @@ package rofl_test
 
 import (
 	"fmt"
+	"time"
 
 	"rofl"
 )
@@ -59,6 +60,41 @@ func ExampleNewInternet() {
 	}
 	fmt.Println("delivered:", res.Delivered)
 	// Output: delivered: true
+}
+
+// ExampleNewOverlayNode shows the live overlay: real UDP nodes built
+// from a NodeConfig, a bootstrap plus one join, then a payload routed
+// by flat label. The zero NodeConfig is usable as-is (random loopback
+// port, maintenance off — right for tests and examples);
+// DefaultNodeConfig additionally turns on periodic stabilization and
+// BFD liveness for long-running nodes.
+func ExampleNewOverlayNode() {
+	a, err := rofl.NewOverlayNode(rofl.IDFromString("node-a"), rofl.NodeConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer a.Close()
+	a.Bootstrap()
+
+	b, err := rofl.NewOverlayNode(rofl.IDFromString("node-b"), rofl.NodeConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer b.Close()
+	if err := b.Join(a.Addr(), 2*time.Second); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	if err := a.Send(b.ID(), []byte("ping")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	d := <-b.Deliveries()
+	fmt.Println("delivered:", string(d.Payload))
+	// Output: delivered: ping
 }
 
 // ExampleGroupFromString shows anycast group labels: members share a

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"rofl"
 )
@@ -83,4 +84,43 @@ func main() {
 		}
 	}
 	fmt.Printf("post-merge reachability: %d/%d surviving hosts routable\n", ok, len(ids)-1)
+
+	// --- Live overlay failover -------------------------------------------
+	// The same eviction machinery runs over real UDP. Three nodes with
+	// fast maintenance (NodeConfig puts stabilization and BFD liveness
+	// into the constructor); crash one and watch the survivors route
+	// around the corpse.
+	cfg := rofl.NodeConfig{Stabilize: 50 * time.Millisecond, EnableLiveness: true}
+	mk := func(name string) *rofl.OverlayNode {
+		n, err := rofl.NewOverlayNode(rofl.IDFromString(name), cfg)
+		if err != nil {
+			log.Fatalf("live node %s: %v", name, err)
+		}
+		return n
+	}
+	n0, n1, n2 := mk("live-0"), mk("live-1"), mk("live-2")
+	defer n0.Close()
+	defer n1.Close()
+	n0.Bootstrap()
+	for _, n := range []*rofl.OverlayNode{n1, n2} {
+		if err := n.Join(n0.Addr(), 2*time.Second); err != nil {
+			log.Fatalf("live join: %v", err)
+		}
+	}
+	victim2 := n2.ID()
+	n2.Close() // crash: no goodbye, the survivors must detect it
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if succ, _, ok := n0.Successor(); ok && succ != victim2 {
+			if succ2, _, ok2 := n1.Successor(); ok2 && succ2 != victim2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("live overlay never evicted the crashed node")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Println("live overlay: crashed node evicted, survivors rerouted ✓")
 }

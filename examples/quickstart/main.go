@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"rofl"
 )
@@ -60,4 +61,31 @@ func main() {
 
 	fmt.Printf("\ntotals: join=%d msgs, data=%d msgs, teardown=%d msgs\n",
 		metrics.Counter("vring-join"), metrics.Counter("vring-data"), metrics.Counter("vring-teardown"))
+
+	// --- From simulation to live sockets ---------------------------------
+	// The same protocol runs over real UDP: NewOverlayNode takes a
+	// NodeConfig whose zero value binds a random loopback port.
+	// DefaultNodeConfig() additionally switches on periodic
+	// stabilization and BFD liveness, which is what a long-running node
+	// wants.
+	server, err := rofl.NewOverlayNode(rofl.IDFromString("live-server"), rofl.DefaultNodeConfig())
+	if err != nil {
+		log.Fatalf("live server: %v", err)
+	}
+	defer server.Close()
+	server.Bootstrap()
+
+	client, err := rofl.NewOverlayNode(rofl.IDFromString("live-client"), rofl.NodeConfig{})
+	if err != nil {
+		log.Fatalf("live client: %v", err)
+	}
+	defer client.Close()
+	if err := client.Join(server.Addr(), 2*time.Second); err != nil {
+		log.Fatalf("live join: %v", err)
+	}
+	if err := client.Send(server.ID(), []byte("hello over UDP")); err != nil {
+		log.Fatalf("live send: %v", err)
+	}
+	d := <-server.Deliveries()
+	fmt.Printf("\nlive overlay: %q routed by label over %s\n", d.Payload, server.Addr())
 }

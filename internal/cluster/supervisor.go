@@ -235,9 +235,23 @@ func (s *Supervisor) launchLocked(m *Member) error {
 		fault.SetInstruments(netem.NewInstruments(m.reg))
 		tr = fault
 	}
-	node := overlay.NewNodeTransport(m.id, tr)
-	node.SetRetryPolicy(overlay.RetryPolicy{Initial: 50 * time.Millisecond, Max: 800 * time.Millisecond, Multiplier: 2})
-	node.SetTelemetry(m.reg, s.log)
+	// One construction call carries the whole per-incarnation shape:
+	// transport, an aggressive loopback retry policy, telemetry wiring,
+	// and both maintenance loops (which tick harmlessly until the join
+	// below gives the node a successor).
+	node, err := overlay.New(m.id, overlay.Config{
+		Transport:      tr,
+		Retry:          overlay.RetryPolicy{Initial: 50 * time.Millisecond, Max: 800 * time.Millisecond, Multiplier: 2},
+		Registry:       m.reg,
+		Events:         s.log,
+		Stabilize:      s.cfg.Stabilize,
+		EnableLiveness: s.cfg.EnableLiveness,
+		Liveness:       s.cfg.Liveness,
+	})
+	if err != nil {
+		tr.Close()
+		return fmt.Errorf("cluster: node %d: %w", m.Index, err)
+	}
 	srv, err := telemetry.NewServer("127.0.0.1:0", m.reg, func() any { return node.Status() }, func() error {
 		if _, _, ok := node.Successor(); !ok {
 			return errors.New("not bootstrapped")
@@ -294,10 +308,6 @@ func (s *Supervisor) Start() error {
 			node.Bootstrap()
 		} else if err := node.Join(target.Node().Addr(), s.cfg.JoinTimeout); err != nil {
 			return fmt.Errorf("cluster: node %d join: %w", m.Index, err)
-		}
-		node.StartStabilize(s.cfg.Stabilize)
-		if s.cfg.EnableLiveness {
-			node.StartLiveness(s.cfg.Liveness)
 		}
 		s.log.Info(eventNodeStarted, "node", m.Index, "id", m.id.Short(), "addr", node.Addr())
 	}
@@ -358,10 +368,6 @@ func (s *Supervisor) Restart(i int) error {
 		node.Bootstrap()
 	} else if err := node.Join(target.Node().Addr(), s.cfg.JoinTimeout); err != nil {
 		return fmt.Errorf("cluster: node %d rejoin: %w", i, err)
-	}
-	node.StartStabilize(s.cfg.Stabilize)
-	if s.cfg.EnableLiveness {
-		node.StartLiveness(s.cfg.Liveness)
 	}
 	s.log.Info(eventNodeRestarted, "node", i, "id", m.id.Short(), "addr", node.Addr())
 	return nil

@@ -46,7 +46,8 @@ var HotPathAnalyzer = &Analyzer{
 // these makes the analyzer fail rather than silently shrinking the
 // checked graph.
 var requiredHotRoots = map[string][]string{
-	"rofl/internal/overlay": {"(*Node).readLoop", "(*Node).handle", "(*peerSet).bestProgress"},
+	"rofl/internal/overlay": {"(*Node).readLoop", "(*Node).handle"},
+	"rofl/internal/proto":   {"(*Core).HandlePacket", "(*peerSet).bestProgress"},
 	"rofl/internal/wire":    {"(*Packet).Marshal", "(*Packet).DecodeFromBytes"},
 	"rofl/internal/vring":   {"(*PointerCache).Lookup"},
 	"rofl/internal/telemetry": {

@@ -236,10 +236,12 @@ type ScopedAnalyzer struct {
 // Suite returns rofllint's analyzers with their package scopes:
 //
 //   - determinism runs on the seeded-RNG packages (sim, experiments,
-//     netem) and the observability/supervision packages (telemetry,
-//     cluster), whose outputs must be pure functions of their seeds —
-//     metric scrapes, churn schedules, and journals are compared
-//     byte-for-byte across runs;
+//     netem, proto) and the observability/supervision packages
+//     (telemetry, cluster), whose outputs must be pure functions of
+//     their seeds — metric scrapes, churn schedules, and journals are
+//     compared byte-for-byte across runs; the proto core in particular
+//     promises identical transitions across drivers, so any ambient
+//     clock or RNG in it is a bug by contract;
 //   - lockorder runs on the concurrent protocol packages (overlay,
 //     vring) and on telemetry and cluster, which hold locks around
 //     registry and supervisor state;
@@ -254,17 +256,18 @@ type ScopedAnalyzer struct {
 //   - golifetime runs on the goroutine-spawning runtime packages
 //     (overlay, cluster, telemetry), where the supervisor restarts
 //     nodes across incarnations and a leaked goroutine per churn event
-//     would be an unbounded leak.
+//     would be an unbounded leak, and on proto, whose purity contract
+//     forbids spawning goroutines at all.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
-		{DeterminismAnalyzer, pathIsAny("rofl/internal/sim", "rofl/internal/experiments", "rofl/internal/netem", "rofl/internal/telemetry", "rofl/internal/cluster")},
+		{DeterminismAnalyzer, pathIsAny("rofl/internal/sim", "rofl/internal/experiments", "rofl/internal/netem", "rofl/internal/telemetry", "rofl/internal/cluster", "rofl/internal/proto")},
 		{LockOrderAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/vring", "rofl/internal/telemetry", "rofl/internal/cluster")},
 		{WireCompleteAnalyzer, func(string) bool { return true }},
 		{IdentCmpAnalyzer, func(p string) bool { return p != "rofl/internal/ident" }},
 		{HotPathAnalyzer, func(string) bool { return true }},
 		{MetricNameAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/cluster", "rofl/internal/netem")},
 		{AtomicMixAnalyzer, func(string) bool { return true }},
-		{GoLifetimeAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/cluster", "rofl/internal/telemetry")},
+		{GoLifetimeAnalyzer, pathIsAny("rofl/internal/overlay", "rofl/internal/cluster", "rofl/internal/telemetry", "rofl/internal/proto")},
 	}
 }
 

@@ -284,6 +284,10 @@ const inboxDepth = 256
 type datagram struct {
 	payload []byte
 	from    string
+	// seq is the fabric-wide send sequence number of this delivery
+	// (duplicates get distinct numbers). Synchronous drivers use it to
+	// replay arrivals in the exact order the dispatcher scheduled them.
+	seq uint64
 }
 
 // Endpoint is one attachment point on a Network, implementing Transport.
@@ -344,11 +348,11 @@ func (e *Endpoint) Send(addr string, p []byte) error {
 	if len(delays) > 0 {
 		// The sender may reuse p; copy once and share across duplicates.
 		buf := append([]byte(nil), p...)
-		d := datagram{payload: buf, from: e.addr}
 		for _, delay := range delays {
 			n.seq++
 			heap.Push(&n.queue, delivery{
-				due: now.Add(delay), seq: n.seq, dst: dst, link: l, d: d,
+				due: now.Add(delay), seq: n.seq, dst: dst, link: l,
+				d: datagram{payload: buf, from: e.addr, seq: n.seq},
 			})
 		}
 	}
@@ -378,6 +382,31 @@ func (e *Endpoint) Recv() ([]byte, string, error) {
 		}
 		return nil, "", ErrClosed
 	}
+}
+
+// TryRecv returns an already-delivered datagram without blocking, along
+// with its fabric-wide send sequence number, or ok=false when the inbox
+// is empty. Synchronous drivers (the proto equivalence pump) combine it
+// with Network.Idle to process arrivals in deterministic global order
+// instead of racing the blocking Recv.
+func (e *Endpoint) TryRecv() (payload []byte, from string, seq uint64, ok bool) {
+	select {
+	case d := <-e.inbox:
+		return d.payload, d.from, d.seq, true
+	default:
+		return nil, "", 0, false
+	}
+}
+
+// Idle reports whether no scheduled delivery remains in flight: every
+// packet the fabric accepted has either reached its destination inbox
+// or been dropped. The dispatcher hands a popped delivery to the inbox
+// under the same lock hold, so Idle returning true means nothing is
+// mid-transfer either.
+func (n *Network) Idle() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queue.Len() == 0
 }
 
 // Close detaches the endpoint; subsequent sends to its address count as

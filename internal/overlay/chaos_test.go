@@ -8,6 +8,7 @@ import (
 
 	"rofl/internal/ident"
 	"rofl/internal/netem"
+	"rofl/internal/proto"
 	"rofl/internal/wire"
 )
 
@@ -75,10 +76,7 @@ func waitMembership(t *testing.T, nodes []*Node, timeout time.Duration) {
 	for {
 		all := true
 		for _, n := range nodes {
-			n.mu.Lock()
-			c := n.known.len()
-			n.mu.Unlock()
-			if c < len(nodes)-1 {
+			if n.Status().KnownPeers < len(nodes)-1 {
 				all = false
 				break
 			}
@@ -345,7 +343,7 @@ func TestStaleStabilizeReplyIgnored(t *testing.T) {
 	pktReply := &wire.Packet{
 		Type: wire.TypeStabilizeReply, TTL: wire.DefaultTTL,
 		Dst: nodes[0].ID(), Src: evil.ID(), ReqID: 0xdead,
-		Payload: encodeEntries([]entry{{ID: tempting, Addr: "em://forger"}}),
+		Payload: proto.EncodePeers([]proto.Peer{{ID: tempting, Addr: "em://forger"}}),
 	}
 	if err := evil.send(addrs[0], pktReply); err != nil {
 		t.Fatal(err)

@@ -60,7 +60,9 @@ func FuzzHandleRequest(f *testing.F) {
 		if err := pkt.DecodeFromBytes(data); err != nil {
 			return // the read loop drops malformed datagrams before handle
 		}
-		n.handle(&pkt, "peer")
+		a := getActs()
+		n.handle(&pkt, "peer", a)
+		putActs(a)
 		// Keep the delivery buffer from filling so to-self data packets
 		// stay observable rather than counted as drops.
 		for {

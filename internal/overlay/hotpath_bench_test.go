@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rofl/internal/ident"
+	"rofl/internal/proto"
 	"rofl/internal/telemetry"
 	"rofl/internal/wire"
 )
@@ -32,6 +33,11 @@ func (s *benchTransport) Close() error {
 	return nil
 }
 
+// benchKnown fills the remembered-peer set to the core's capacity
+// bound (proto's maxKnown), the steady-state shape of a long-lived
+// node.
+const benchKnown = 128
+
 // benchNode builds a node with a full successor group, a predecessor,
 // and nKnown remembered peers — the steady-state shape of a member of a
 // large ring.
@@ -39,16 +45,15 @@ func benchNode(tb testing.TB, nKnown int) *Node {
 	tb.Helper()
 	n := NewNodeTransport(ident.FromUint64(1000), newBenchTransport())
 	tb.Cleanup(func() { n.Close() })
+	pred := proto.Peer{ID: ident.FromUint64(500), Addr: "peer:500"}
 	n.mu.Lock()
-	n.succs = []entry{
+	n.core.InstallRing([]proto.Peer{
 		{ID: ident.FromUint64(2000), Addr: "peer:2000"},
 		{ID: ident.FromUint64(3000), Addr: "peer:3000"},
 		{ID: ident.FromUint64(4000), Addr: "peer:4000"},
-	}
-	pred := entry{ID: ident.FromUint64(500), Addr: "peer:500"}
-	n.pred = &pred
+	}, &pred)
 	for i := 0; i < nKnown; i++ {
-		n.learnLocked(entry{ID: ident.FromUint64(uint64(10000 + i)), Addr: fmt.Sprintf("peer:%d", 10000+i)})
+		n.core.Learn(proto.Peer{ID: ident.FromUint64(uint64(10000 + i)), Addr: fmt.Sprintf("peer:%d", 10000+i)})
 	}
 	n.mu.Unlock()
 	return n
@@ -57,7 +62,7 @@ func benchNode(tb testing.TB, nKnown int) *Node {
 // BenchmarkForwardData measures one greedy next-hop decision plus
 // marshal and (sunk) send — the per-hop cost of the data path.
 func BenchmarkForwardData(b *testing.B) {
-	n := benchNode(b, maxKnown)
+	n := benchNode(b, benchKnown)
 	pkt := &wire.Packet{
 		Type: wire.TypeData, TTL: wire.DefaultTTL,
 		Dst: ident.FromUint64(3500), Src: ident.FromUint64(77),
@@ -77,7 +82,7 @@ func BenchmarkForwardData(b *testing.B) {
 // uninstrumented run is the whole observability tax on the hot path
 // (expected: a couple of atomic adds, zero allocations).
 func BenchmarkForwardDataInstrumented(b *testing.B) {
-	n := benchNode(b, maxKnown)
+	n := benchNode(b, benchKnown)
 	n.SetTelemetry(telemetry.NewRegistry(), nil)
 	pkt := &wire.Packet{
 		Type: wire.TypeData, TTL: wire.DefaultTTL,
@@ -98,7 +103,10 @@ func BenchmarkForwardDataInstrumented(b *testing.B) {
 // handles, not map lookups, so attaching a registry must not put the
 // data path on the heap.
 func TestForwardInstrumentedZeroAllocs(t *testing.T) {
-	n := benchNode(t, maxKnown)
+	if raceEnabled {
+		t.Skip("race mode defeats sync.Pool reuse, so alloc counts are meaningless")
+	}
+	n := benchNode(t, benchKnown)
 	reg := telemetry.NewRegistry()
 	n.SetTelemetry(reg, nil)
 	pkt := &wire.Packet{
@@ -126,7 +134,7 @@ func TestForwardInstrumentedZeroAllocs(t *testing.T) {
 // transit packet, exactly as the read loop runs it: decode the
 // datagram, dispatch, pick the next hop, re-marshal, send.
 func BenchmarkHandleDataForward(b *testing.B) {
-	n := benchNode(b, maxKnown)
+	n := benchNode(b, benchKnown)
 	raw, err := (&wire.Packet{
 		Type: wire.TypeData, TTL: wire.DefaultTTL,
 		Dst: ident.FromUint64(3500), Src: ident.FromUint64(77),
@@ -136,13 +144,15 @@ func BenchmarkHandleDataForward(b *testing.B) {
 		b.Fatal(err)
 	}
 	var pkt wire.Packet
+	a := getActs()
+	defer putActs(a)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := pkt.DecodeFromBytes(raw); err != nil {
 			b.Fatal(err)
 		}
-		n.handle(&pkt, "peer:77")
+		n.handle(&pkt, "peer:77", a)
 	}
 }
 
@@ -150,7 +160,7 @@ func BenchmarkHandleDataForward(b *testing.B) {
 // addressed to the local node: decode, dispatch, copy the payload to
 // the application channel (drained by a cleanup-managed consumer).
 func BenchmarkHandleDataDeliver(b *testing.B) {
-	n := benchNode(b, maxKnown)
+	n := benchNode(b, benchKnown)
 	stop := make(chan struct{})
 	go func() {
 		for {
@@ -171,20 +181,22 @@ func BenchmarkHandleDataDeliver(b *testing.B) {
 		b.Fatal(err)
 	}
 	var pkt wire.Packet
+	a := getActs()
+	defer putActs(a)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := pkt.DecodeFromBytes(raw); err != nil {
 			b.Fatal(err)
 		}
-		n.handle(&pkt, "peer:77")
+		n.handle(&pkt, "peer:77", a)
 	}
 }
 
 // BenchmarkStabilizeRound measures one stabilization round with a full
 // known set: gossip sampling, probe selection, and two control sends.
 func BenchmarkStabilizeRound(b *testing.B) {
-	n := benchNode(b, maxKnown)
+	n := benchNode(b, benchKnown)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -195,12 +207,12 @@ func BenchmarkStabilizeRound(b *testing.B) {
 // BenchmarkLearnAtCapacity measures remembering a fresh peer into a
 // full known set, where every learn must pick an eviction victim.
 func BenchmarkLearnAtCapacity(b *testing.B) {
-	n := benchNode(b, maxKnown)
+	n := benchNode(b, benchKnown)
 	b.ReportAllocs()
 	b.ResetTimer()
 	n.mu.Lock()
 	for i := 0; i < b.N; i++ {
-		n.learnLocked(entry{ID: ident.FromUint64(1<<32 + uint64(i)), Addr: "peer:fresh"})
+		n.core.Learn(proto.Peer{ID: ident.FromUint64(1<<32 + uint64(i)), Addr: "peer:fresh"})
 	}
 	n.mu.Unlock()
 }

@@ -1,93 +1,34 @@
-// BFD-style adaptive successor liveness (modeled on RFC 5880's
-// asynchronous mode, not its bit layout): the node probes its current
-// successor on a negotiated interval and declares it dead after
-// Multiplier consecutive unanswered probes — millisecond-scale failure
-// detection layered under the stabilize-timer eviction, which stays as
-// the slow-path fallback (and the only detector when liveness is not
-// started).
-//
-// Negotiation follows BFD's rule: each side advertises the interval it
-// wants to transmit at (MinTx) and the fastest it is willing to be
-// probed at (MinRx); the effective transmit interval toward a peer is
-// max(local MinTx, remote MinRx), so a loaded node slows its probers
-// down by advertising a larger MinRx. The advertisement rides in every
-// probe and every reply.
+// The driver side of the BFD-style successor liveness detector (see
+// internal/proto/liveness.go for the protocol): a timer loop that
+// re-reads the negotiated interval each round and feeds liveness ticks
+// into the core. Time lives entirely here — the core only counts miss
+// windows and negotiates intervals.
 package overlay
 
 import (
-	"encoding/binary"
 	"time"
 
-	"rofl/internal/wire"
+	"rofl/internal/proto"
 )
 
-// LivenessParams shapes the adaptive failure detector.
-type LivenessParams struct {
-	// MinTx is the interval this node wants between its own probes.
-	MinTx time.Duration
-	// MinRx is the fastest probing this node accepts from a peer; it is
-	// advertised in probes and replies, and peers must slow to it.
-	MinRx time.Duration
-	// Multiplier is how many consecutive unanswered probes declare the
-	// successor dead (BFD's detect multiplier; default 3).
-	Multiplier int
-}
+// LivenessParams shapes the adaptive failure detector (re-exported from
+// the protocol core).
+type LivenessParams = proto.LivenessParams
 
 // DefaultLivenessParams detects a dead successor in roughly
 // (Multiplier+1)×MinTx ≈ 40ms on a LAN — two orders of magnitude under
 // the stabilize-timer epochs it fronts.
-func DefaultLivenessParams() LivenessParams {
-	return LivenessParams{MinTx: 10 * time.Millisecond, MinRx: 5 * time.Millisecond, Multiplier: 3}
-}
-
-// normalize fills zero fields with defaults.
-func (p LivenessParams) normalize() LivenessParams {
-	d := DefaultLivenessParams()
-	if p.MinTx <= 0 {
-		p.MinTx = d.MinTx
-	}
-	if p.MinRx <= 0 {
-		p.MinRx = d.MinRx
-	}
-	if p.Multiplier <= 0 {
-		p.Multiplier = d.Multiplier
-	}
-	return p
-}
-
-// livenessAdLen is the probe payload: minTx(4) minRx(4) multiplier(1),
-// intervals in microseconds.
-const livenessAdLen = 9
-
-// encodeLivenessAd serializes an interval advertisement.
-func encodeLivenessAd(p LivenessParams) []byte {
-	buf := make([]byte, livenessAdLen)
-	binary.BigEndian.PutUint32(buf[0:], uint32(p.MinTx/time.Microsecond))
-	binary.BigEndian.PutUint32(buf[4:], uint32(p.MinRx/time.Microsecond))
-	buf[8] = uint8(min(p.Multiplier, 255))
-	return buf
-}
-
-// decodeLivenessAd parses an advertisement; ok is false on a short or
-// garbled payload (the probe still proves liveness either way).
-func decodeLivenessAd(b []byte) (LivenessParams, bool) {
-	if len(b) < livenessAdLen {
-		return LivenessParams{}, false
-	}
-	return LivenessParams{
-		MinTx:      time.Duration(binary.BigEndian.Uint32(b[0:])) * time.Microsecond,
-		MinRx:      time.Duration(binary.BigEndian.Uint32(b[4:])) * time.Microsecond,
-		Multiplier: int(b[8]),
-	}, true
-}
+func DefaultLivenessParams() LivenessParams { return proto.DefaultLivenessParams() }
 
 // StartLiveness begins probing the node's current successor with the
-// given parameters. Idempotent; stops at Close. Probing tracks
-// successor changes automatically: whenever the successor-group head
-// changes (evictions, joins, repairs), the detector re-arms against the
-// new head with a fresh miss count.
+// given parameters (zero fields take defaults). Idempotent; stops at
+// Close. Probing tracks successor changes automatically: whenever the
+// successor-group head changes (evictions, joins, repairs), the
+// detector re-arms against the new head with a fresh miss count.
+//
+// Deprecated: set Config.EnableLiveness and Config.Liveness at
+// construction.
 func (n *Node) StartLiveness(p LivenessParams) {
-	p = p.normalize()
 	n.mu.Lock()
 	if n.closed || n.livenessStop != nil {
 		n.mu.Unlock()
@@ -95,7 +36,7 @@ func (n *Node) StartLiveness(p LivenessParams) {
 	}
 	stop := make(chan struct{})
 	n.livenessStop = stop
-	n.liveness = p
+	n.core.SetLiveness(p)
 	n.mu.Unlock()
 	n.wg.Add(1)
 	go func() {
@@ -118,111 +59,21 @@ func (n *Node) StartLiveness(p LivenessParams) {
 func (n *Node) livenessInterval() time.Duration {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	iv := n.liveness.MinTx
-	if n.bfdRemoteMinRx > iv {
-		iv = n.bfdRemoteMinRx
-	}
-	return iv
+	return n.core.LivenessInterval()
 }
 
-// livenessTick runs one detector round: account a miss window for the
-// previous probe, fail the successor over once Multiplier windows
-// elapsed unanswered, otherwise transmit the next probe.
+// livenessTick feeds one detector round into the core and executes what
+// it emits. A tick that fires after Close is a no-op.
 func (n *Node) livenessTick() {
-	ins := n.ins.Load()
+	a := getActs()
 	n.mu.Lock()
-	if n.closed || len(n.succs) == 0 || n.succs[0].ID == n.id {
-		n.bfdTarget = entry{}
-		n.bfdMisses = 0
+	if n.closed {
 		n.mu.Unlock()
+		putActs(a)
 		return
 	}
-	succ := n.succs[0]
-	if n.bfdTarget.ID != succ.ID {
-		// New monitoring target (join, eviction, ring repair): re-arm.
-		n.bfdTarget = succ
-		n.bfdMisses = 0
-		n.bfdRemoteMinRx = 0
-	}
-	var dead entry
-	failed := false
-	if n.bfdMisses >= n.liveness.Multiplier {
-		dead = succ
-		n.dropSuccessorLocked(dead)
-		n.bfdTarget = entry{}
-		n.bfdMisses = 0
-		n.bfdRemoteMinRx = 0
-		failed = true
-	}
-	var pkt *wire.Packet
-	var addr string
-	if !failed {
-		n.bfdMisses++
-		n.reqSeq++
-		pkt = &wire.Packet{
-			Type: wire.TypeLiveness, TTL: wire.DefaultTTL,
-			Dst: succ.ID, Src: n.id, ReqID: n.reqSeq,
-			Payload: encodeLivenessAd(n.liveness),
-		}
-		addr = succ.Addr
-	}
+	n.core.TickLiveness(a)
 	n.mu.Unlock()
-	if failed {
-		ins.LivenessFailovers.Inc()
-		ins.SuccEvictions.Inc()
-		ins.Events.Warn(eventSuccEvicted,
-			"peer", dead.ID.Short(), "addr", dead.Addr, "reason", "liveness-timeout")
-		return
-	}
-	ins.LivenessProbes.Inc()
-	_ = n.send(addr, pkt)
-}
-
-// handleLivenessProbe answers a probe immediately with this node's own
-// advertisement — the responder side never times anything, it only
-// proves it is alive (BFD asynchronous mode with the passive role). A
-// probe from the current predecessor also refreshes the predecessor
-// liveness signal the stabilize detector reads.
-//
-//rofllint:coldpath liveness control message, paced by the BFD interval, not per forwarded packet
-func (n *Node) handleLivenessProbe(pkt *wire.Packet, from string) {
-	n.mu.Lock()
-	delete(n.quar, pkt.Src) // a probing peer is alive by definition
-	if n.pred != nil && pkt.Src == n.pred.ID {
-		n.predMisses = 0
-	}
-	ad := n.liveness.normalize() // zero (liveness not started) advertises defaults
-	self := n.id
-	n.mu.Unlock()
-	out := &wire.Packet{
-		Type: wire.TypeLivenessReply, TTL: wire.DefaultTTL,
-		Dst: pkt.Src, Src: self, ReqID: pkt.ReqID,
-		Payload: encodeLivenessAd(ad),
-	}
-	_ = n.send(from, out)
-}
-
-// handleLivenessReply clears the miss window when the answer comes from
-// the successor currently being monitored, and adopts the successor's
-// advertised MinRx as the negotiation floor. A liveness reply is also
-// proof enough for the stabilize-timer detector: a successor that
-// answers probes must not be evicted for losing stabilize replies.
-//
-//rofllint:coldpath liveness control message, paced by the BFD interval, not per forwarded packet
-func (n *Node) handleLivenessReply(pkt *wire.Packet, from string) {
-	n.mu.Lock()
-	delete(n.quar, pkt.Src) // an answering peer is alive by definition
-	if n.bfdTarget.ID != pkt.Src {
-		n.mu.Unlock()
-		return // stale reply from a previous target
-	}
-	n.bfdMisses = 0
-	if ad, ok := decodeLivenessAd(pkt.Payload); ok {
-		n.bfdRemoteMinRx = ad.MinRx
-	}
-	if len(n.succs) > 0 && n.succs[0].ID == pkt.Src {
-		n.succMisses = 0
-	}
-	n.learnLocked(entry{ID: pkt.Src, Addr: from})
-	n.mu.Unlock()
+	_ = n.run(a)
+	putActs(a)
 }

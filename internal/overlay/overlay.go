@@ -1,10 +1,11 @@
 // Package overlay runs the intradomain ROFL protocol over a datagram
-// transport: nodes carry flat labels, splice themselves into a successor
-// ring by greedy-routing join requests (paper §3.1), and forward data
-// packets to the closest identifier that does not overshoot the
-// destination (Algorithm 2). It demonstrates that the state machines the
-// simulator measures also run outside it, using the binary wire format
-// of package wire on the wire.
+// transport. All protocol logic — ring maintenance, greedy forwarding,
+// failure eviction, quarantine, gossip, liveness — lives in the pure
+// state machine of internal/proto; this package is the live driver
+// around one proto.Core: it owns the lock, the UDP/netem read loop, the
+// retry and stabilization timers, the application delivery channel, and
+// the telemetry wiring, feeding decoded packets and timer ticks into
+// the core and executing the actions it emits on a netem.Transport.
 //
 // The transport is abstracted behind netem.Transport: live deployments
 // bind real UDP sockets, while tests drive the same node code through
@@ -21,16 +22,16 @@
 package overlay
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rofl/internal/ident"
 	"rofl/internal/netem"
+	"rofl/internal/proto"
+	"rofl/internal/telemetry"
 	"rofl/internal/wire"
 )
 
@@ -42,50 +43,6 @@ var ErrClosed = errors.New("overlay: node closed")
 
 // ErrBusy reports that the in-flight request table is full.
 var ErrBusy = errors.New("overlay: too many in-flight requests")
-
-// entry pairs an identifier with the transport address hosting it.
-type entry struct {
-	ID   ident.ID
-	Addr string
-}
-
-// encodeEntries serializes pointer entries into a packet payload:
-// count(2) then per entry id(16) addrLen(2) addr.
-func encodeEntries(es []entry) []byte {
-	buf := binary.BigEndian.AppendUint16(nil, uint16(len(es)))
-	for _, e := range es {
-		buf = append(buf, e.ID[:]...)
-		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Addr)))
-		buf = append(buf, e.Addr...)
-	}
-	return buf
-}
-
-func decodeEntries(b []byte) ([]entry, error) {
-	if len(b) < 2 {
-		return nil, fmt.Errorf("overlay: short entry list")
-	}
-	n := int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	out := make([]entry, 0, n)
-	for i := 0; i < n; i++ {
-		if len(b) < ident.Size+2 {
-			return nil, fmt.Errorf("overlay: truncated entry %d", i)
-		}
-		var e entry
-		copy(e.ID[:], b[:ident.Size])
-		b = b[ident.Size:]
-		alen := int(binary.BigEndian.Uint16(b))
-		b = b[2:]
-		if len(b) < alen {
-			return nil, fmt.Errorf("overlay: truncated address %d", i)
-		}
-		e.Addr = string(b[:alen])
-		b = b[alen:]
-		out = append(out, e)
-	}
-	return out, nil
-}
 
 // Delivery is handed to the application when a data packet arrives.
 type Delivery struct {
@@ -115,73 +72,74 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{Initial: 120 * time.Millisecond, Max: 2 * time.Second, Multiplier: 2}
 }
 
-const (
-	// maxInFlight bounds the request table; register past this fails
-	// with ErrBusy instead of growing without limit.
-	maxInFlight = 64
-	// maxKnown bounds the remembered-peer set used for repair probes.
-	maxKnown = 128
-	// maxRecentStab bounds the window of outstanding stabilize request
-	// IDs; replies outside the window are stale and ignored.
-	maxRecentStab = 16
-	// gossipFanout is how many randomly chosen known peers ride along in
-	// each stabilize request. Ring pointers alone spread membership only
-	// to ID-adjacent neighbours; gossip disseminates it globally, so that
-	// after a partition every side still knows (and can probe) enough of
-	// its own members to re-form — and later re-merge — a ring.
-	gossipFanout = 3
-)
+// maxInFlight bounds the request table; register past this fails with
+// ErrBusy instead of growing without limit.
+const maxInFlight = 64
 
-// Node is one overlay participant: a flat label bound to a transport.
+// SuccessorGroupSize is the number of successors an overlay node keeps.
+const SuccessorGroupSize = proto.SuccessorGroupSize
+
+// Config configures a Node. The zero value is usable: it binds a UDP
+// socket on a random loopback port, uses the default retry policy, no
+// gate, a 64-entry delivery buffer, no telemetry, and starts neither
+// maintenance loop (call Bootstrap or Join, then rely on Stabilize
+// having been set, or start loops explicitly).
+type Config struct {
+	// Bind is the UDP listen address ("127.0.0.1:0" picks a free port).
+	// Mutually exclusive with Transport; when both are empty, Bind
+	// defaults to "127.0.0.1:0".
+	Bind string
+	// Transport attaches the node to an existing transport (a netem
+	// endpoint, a fault-wrapped socket, …). The node owns it and closes
+	// it on Close.
+	Transport netem.Transport
+	// Retry shapes control-request retransmission; the zero value means
+	// DefaultRetryPolicy().
+	Retry RetryPolicy
+	// Gate, when set, is consulted before any data packet is delivered
+	// locally; packets it rejects are dropped silently, as a default-off
+	// router would drop them (§5.3).
+	Gate Gate
+	// Stabilize, when positive, starts the ring-maintenance loop at that
+	// interval as soon as the node is constructed. Zero leaves it off
+	// (StartStabilize can start it later).
+	Stabilize time.Duration
+	// EnableLiveness starts the BFD-style successor prober with the
+	// Liveness parameters (zero fields take defaults).
+	EnableLiveness bool
+	// Liveness shapes the failure detector; only consulted when
+	// EnableLiveness is set (StartLiveness can still start it later).
+	Liveness LivenessParams
+	// DeliveryBuffer is the application channel depth; zero means 64.
+	DeliveryBuffer int
+	// Registry, when set, wires the node's counters into it at
+	// construction (SetTelemetry can rewire later).
+	Registry *telemetry.Registry
+	// Events, when set, receives the node's structured events.
+	Events *telemetry.EventLog
+}
+
+// Node is one overlay participant: a flat label bound to a transport,
+// driving a proto.Core.
 type Node struct {
 	id ident.ID
 	tr netem.Transport
 
+	// mu serializes access to the core (which is not goroutine-safe by
+	// design) and the driver state next to it.
 	mu     sync.Mutex
-	succs  []entry // successor group, ascending from id
-	pred   *entry
+	core   *proto.Core
 	closed bool
 	retry  RetryPolicy
-
-	// pending maps an outstanding request ID to the waiter's channel;
-	// bounded by maxInFlight.
-	pending map[uint64]chan *wire.Packet
-	reqSeq  uint64
-	// known remembers every peer this node has heard of — including
-	// evicted-as-dead successors — and feeds the stabilization-time
-	// repair probes that let two rings separated by a partition find
-	// each other again after it heals (the overlay's analogue of the
-	// paper's §3.3 ring-merge). Its sorted index also serves as a
-	// pointer cache for forwarding: when no ring pointer makes greedy
-	// progress, the closest remembered peer is tried before dropping.
-	known *peerSet
-	// rng drives every sampling decision (gossip fanout, probe choice,
-	// eviction victims). It is seeded from the node's own identifier, so
-	// a node's sampling trace is a pure function of its ID and learn
-	// history — never of Go's randomized map iteration order. Guarded by
-	// mu.
-	rng *rand.Rand
-	// recentStab is the window of stabilize request IDs awaiting a
-	// reply; replies whose ReqID is not in the window are discarded as
-	// stale (reordered or duplicated by the network).
-	recentStab map[uint64]struct{}
-	stabFIFO   []uint64
-	// quar holds peers this node itself declared dead, mapped to the
-	// number of stabilize rounds the verdict still stands. While
-	// quarantined, a peer cannot be re-adopted as successor from hearsay
-	// (gossip and stabilize replies from third parties that have not yet
-	// purged the corpse from their own pointers) — without this, small
-	// rings livelock: the eviction is undone microseconds later by the
-	// live peer's reply and the dead successor flaps forever. Direct
-	// contact from the peer itself (a stabilize request, join, or
-	// liveness packet it sent) is proof of life and lifts the quarantine
-	// immediately, so a healed partition or a false positive recovers at
-	// network speed.
-	quar map[ident.ID]int
+	// gate is read on every local delivery; it lives outside mu (like
+	// ins) so the delivery path never takes a second lock.
+	gate atomic.Pointer[Gate]
+	// pending maps an outstanding join request ID to the waiter's
+	// completion channel; bounded by maxInFlight.
+	pending map[uint64]chan error
 
 	deliveries chan Delivery
 	dropCount  atomic.Uint64 // deliveries dropped on a full channel
-	gate       Gate
 
 	// ins is the telemetry wiring, swapped atomically so SetTelemetry
 	// is safe against a running read loop. Never nil: an unwired node
@@ -191,65 +149,86 @@ type Node struct {
 
 	stabilizeStop chan struct{}
 	stabilizeOnce sync.Once
-	// Liveness detector state (see liveness.go): the BFD-style probe
-	// loop, its current monitoring target, consecutive unanswered probe
-	// windows, and the target's advertised receive-interval floor.
-	livenessStop   chan struct{}
-	livenessOnce   sync.Once
-	liveness       LivenessParams
-	bfdTarget      entry
-	bfdMisses      int
-	bfdRemoteMinRx time.Duration
-	// succMisses counts consecutive stabilization rounds without a reply
-	// from the current successor; past a threshold the successor is
-	// declared dead and the group shifts down (§2.2 successor-groups).
-	// lastSucc remembers which successor the count applies to, so
-	// adopting a different successor restarts the clock.
-	succMisses int
-	lastSucc   *ident.ID
-	// predMisses counts consecutive stabilization rounds without hearing
-	// a stabilize request from the current predecessor. A live
-	// predecessor contacts its successor every round, so silence past a
-	// threshold means the predecessor is dead or partitioned away — the
-	// pointer is cleared so a live claimant can take its place.
-	predMisses int
+	livenessStop  chan struct{}
+	livenessOnce  sync.Once
 
 	done chan struct{} // closed by Close; unblocks pending requests
 	wg   sync.WaitGroup
 }
 
-// SuccessorGroupSize is the number of successors an overlay node keeps.
-const SuccessorGroupSize = 3
+// New builds a node from cfg and starts its receive loop (plus the
+// stabilize and liveness loops when the config asks for them).
+func New(id ident.ID, cfg Config) (*Node, error) {
+	tr := cfg.Transport
+	if tr != nil && cfg.Bind != "" {
+		return nil, fmt.Errorf("overlay: config sets both Bind and Transport")
+	}
+	if tr == nil {
+		bind := cfg.Bind
+		if bind == "" {
+			bind = "127.0.0.1:0"
+		}
+		var err error
+		tr, err = netem.ListenUDP(bind)
+		if err != nil {
+			return nil, fmt.Errorf("overlay: %w", err)
+		}
+	}
+	retry := cfg.Retry
+	if retry == (RetryPolicy{}) {
+		retry = DefaultRetryPolicy()
+	}
+	depth := cfg.DeliveryBuffer
+	if depth <= 0 {
+		depth = 64
+	}
+	n := &Node{
+		id:         id,
+		tr:         tr,
+		core:       proto.New(proto.Config{ID: id, Addr: tr.LocalAddr(), Liveness: cfg.Liveness}),
+		retry:      retry,
+		pending:    make(map[uint64]chan error),
+		deliveries: make(chan Delivery, depth),
+		done:       make(chan struct{}),
+	}
+	if cfg.Gate != nil {
+		g := cfg.Gate
+		n.gate.Store(&g)
+	}
+	n.ins.Store(&Instruments{})
+	if cfg.Registry != nil || cfg.Events != nil {
+		n.SetTelemetry(cfg.Registry, cfg.Events)
+	}
+	n.wg.Add(1)
+	go n.readLoop()
+	if cfg.Stabilize > 0 {
+		n.StartStabilize(cfg.Stabilize)
+	}
+	if cfg.EnableLiveness {
+		n.StartLiveness(cfg.Liveness)
+	}
+	return n, nil
+}
 
 // NewNode binds a node to a UDP address ("127.0.0.1:0" picks a free
 // port) and starts its receive loop.
+//
+// Deprecated: use New with Config{Bind: bind}.
 func NewNode(id ident.ID, bind string) (*Node, error) {
-	tr, err := netem.ListenUDP(bind)
-	if err != nil {
-		return nil, fmt.Errorf("overlay: %w", err)
-	}
-	return NewNodeTransport(id, tr), nil
+	return New(id, Config{Bind: bind})
 }
 
 // NewNodeTransport binds a node to an existing transport (a netem
 // endpoint, a fault-wrapped socket, …) and starts its receive loop. The
 // node owns the transport and closes it on Close.
+//
+// Deprecated: use New with Config{Transport: tr}.
 func NewNodeTransport(id ident.ID, tr netem.Transport) *Node {
-	n := &Node{
-		id:         id,
-		tr:         tr,
-		retry:      DefaultRetryPolicy(),
-		pending:    make(map[uint64]chan *wire.Packet),
-		known:      newPeerSet(),
-		rng:        rand.New(rand.NewSource(int64(id.Low64()))),
-		recentStab: make(map[uint64]struct{}),
-		quar:       make(map[ident.ID]int),
-		deliveries: make(chan Delivery, 64),
-		done:       make(chan struct{}),
+	n, err := New(id, Config{Transport: tr})
+	if err != nil {
+		// Unreachable: with a non-nil transport New never fails.
+		panic(err)
 	}
-	n.ins.Store(&Instruments{})
-	n.wg.Add(1)
-	go n.readLoop()
 	return n
 }
 
@@ -268,23 +247,31 @@ func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
 func (n *Node) DroppedDeliveries() uint64 { return n.dropCount.Load() }
 
 // SetGate installs an admission gate consulted before any data packet is
-// delivered locally; packets the gate rejects are dropped silently, as a
-// default-off router would drop them (§5.3). Call before traffic starts.
+// delivered locally. Call before traffic starts.
+//
+// Deprecated: set Config.Gate at construction.
 func (n *Node) SetGate(g Gate) {
-	n.mu.Lock()
-	n.gate = g
-	n.mu.Unlock()
+	if g == nil {
+		n.gate.Store(nil)
+		return
+	}
+	n.gate.Store(&g)
 }
 
 // SetRetryPolicy replaces the retransmission schedule for subsequent
-// control requests. Call before Join/StartStabilize.
+// control requests. Call before Join.
+//
+// Deprecated: set Config.Retry at construction.
 func (n *Node) SetRetryPolicy(p RetryPolicy) {
 	n.mu.Lock()
 	n.retry = p
 	n.mu.Unlock()
 }
 
-// Close shuts the node down.
+// Close shuts the node down: stops the maintenance loops, closes the
+// transport (unblocking the read loop), waits for every driver
+// goroutine, then closes the delivery channel. Idempotent; any timer or
+// liveness event that fires after Close is a no-op.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -308,37 +295,11 @@ func (n *Node) Close() error {
 	return err
 }
 
-// succFailThreshold is how many missed stabilization replies declare the
-// successor dead.
-const succFailThreshold = 4
-
-// predFailThreshold is how many stabilization rounds without a stabilize
-// request from the predecessor clear the predecessor pointer. It is
-// higher than succFailThreshold because the signal is indirect (we rely
-// on the predecessor's own timer) and a false clear briefly opens the
-// ring to a worse claimant.
-const predFailThreshold = 8
-
-// quarantineRounds is how many of this node's stabilize rounds an
-// evicted-as-dead peer stays barred from hearsay re-adoption. It must
-// outlast the slowest purge on live peers — a predecessor pointer naming
-// the corpse survives predFailThreshold+1 of the peer's rounds — with
-// margin for drift between timers. Quarantine never delays a live peer's
-// return: its own packets lift it immediately.
-const quarantineRounds = 3 * (predFailThreshold + 1)
-
-// StartStabilize runs Chord-style stabilization every interval: the node
-// asks its successor for the successor's current predecessor and adopts
-// it when it falls between them, repairing rings assembled by concurrent
-// joins; a successor that misses several consecutive rounds is declared
-// dead and the successor group shifts down, exactly the failover role
-// the paper assigns to successor-groups (§2.2). Each round also probes
-// one remembered peer outside the successor group, so rings that
-// diverged — most importantly the two sides of a healed partition —
-// rediscover each other and merge (§3.3's repair, driven by probes
-// instead of zero-ID floods). The paper's virtual nodes "piggyback
-// probes on data packets to ensure this state is maintained correctly"
-// (§4.1); a timer plays that role in the overlay.
+// StartStabilize runs the core's stabilization round every interval
+// (see proto.Core.TickStabilize for the protocol). Idempotent; stops at
+// Close.
+//
+// Deprecated: set Config.Stabilize at construction.
 func (n *Node) StartStabilize(interval time.Duration) {
 	n.mu.Lock()
 	if n.closed || n.stabilizeStop != nil {
@@ -364,295 +325,136 @@ func (n *Node) StartStabilize(interval time.Duration) {
 	}()
 }
 
-// noteStabLocked registers a stabilize request ID in the reply window,
-// evicting the oldest entry past maxRecentStab. Caller holds n.mu.
-func (n *Node) noteStabLocked(id uint64) {
-	n.recentStab[id] = struct{}{}
-	n.stabFIFO = append(n.stabFIFO, id)
-	if len(n.stabFIFO) > maxRecentStab {
-		delete(n.recentStab, n.stabFIFO[0])
-		n.stabFIFO = n.stabFIFO[1:]
-	}
-}
+// actsPool recycles Actions buffers across driver entry points (sends,
+// ticks, joins); a recycled buffer keeps its slice capacity, so the
+// steady-state data path allocates nothing.
+var actsPool = sync.Pool{New: func() any { return new(proto.Actions) }}
 
-// isRingNeighborLocked reports whether id is one of the node's live
-// ring pointers — a member of the successor group or the predecessor.
-// Caller holds n.mu.
-func (n *Node) isRingNeighborLocked(id ident.ID) bool {
-	if n.pred != nil && n.pred.ID == id {
-		return true
-	}
-	return containsID(n.succs, id)
-}
+func getActs() *proto.Actions  { return actsPool.Get().(*proto.Actions) }
+func putActs(a *proto.Actions) { a.Reset(); actsPool.Put(a) }
 
-// learnLocked remembers a peer for repair probing. At the maxKnown
-// bound an eviction victim is drawn from the node's seeded RNG —
-// skipping the current successors and predecessor, which feed failure
-// detection and repair probing and must never be silently forgotten
-// while they are live ring neighbors. Caller holds n.mu.
-func (n *Node) learnLocked(e entry) {
-	if e.ID == n.id || e.Addr == "" {
-		return
-	}
-	if !n.known.contains(e.ID) && n.known.len() >= maxKnown {
-		victim, ok := n.known.pick(n.rng, n.isRingNeighborLocked)
-		if !ok {
-			return // everyone remembered is a ring neighbor; don't evict any of them
-		}
-		n.known.remove(victim.ID)
-	}
-	n.known.insert(e)
-}
-
-// gossipLocked returns the stabilize-request payload: the node's own
-// entry followed by up to gossipFanout remembered peers sampled by the
-// node's seeded RNG over the sorted peer index. Caller holds n.mu.
-func (n *Node) gossipLocked(self entry) []entry {
-	out := append(make([]entry, 0, 1+gossipFanout), self)
-	return n.known.sampleInto(out, gossipFanout, n.rng, nil)
-}
-
-// pickProbeLocked selects a remembered peer outside the successor head
-// to probe this round, drawn from the node's seeded RNG. Caller holds
-// n.mu.
-func (n *Node) pickProbeLocked() (entry, bool) {
-	return n.known.pick(n.rng, func(id ident.ID) bool {
-		return len(n.succs) > 0 && id == n.succs[0].ID
-	})
-}
-
-// dropSuccessorLocked removes dead from the head of the successor
-// group, shifting the group down (collapsing to a self-ring when it
-// empties) and clearing a predecessor pointer naming the same peer. The
-// dead peer stays in known so a later repair probe can find it again if
-// it was only partitioned away. Caller holds n.mu and owns reporting:
-// each removal is counted and logged exactly once, by whichever
-// detector (stabilize timer or liveness probes) declared the death.
-func (n *Node) dropSuccessorLocked(dead entry) {
-	if len(n.succs) == 0 || n.succs[0].ID != dead.ID {
-		return
-	}
-	n.succs = n.succs[1:]
-	if len(n.succs) == 0 {
-		n.succs = []entry{{ID: n.id, Addr: n.tr.LocalAddr()}}
-	}
-	if n.pred != nil && n.pred.ID == dead.ID {
-		n.pred = nil
-	}
-	n.succMisses = 0
-	n.lastSucc = nil
-	n.quar[dead.ID] = quarantineRounds
-}
-
+// stabilizeOnceRound feeds one stabilize tick into the core and
+// executes what it emits. A tick that fires after Close is a no-op.
 func (n *Node) stabilizeOnceRound() {
-	ins := n.ins.Load()
-	ins.StabilizeRounds.Inc()
+	a := getActs()
 	n.mu.Lock()
-	if n.closed || len(n.succs) == 0 {
+	if n.closed {
 		n.mu.Unlock()
+		putActs(a)
 		return
 	}
-	self := entry{ID: n.id, Addr: n.tr.LocalAddr()}
-	// Age the quarantine: a verdict this node reached expires after
-	// enough rounds for every live peer to have purged the corpse too.
-	for id, left := range n.quar {
-		if left <= 1 {
-			delete(n.quar, id)
-		} else {
-			n.quar[id] = left - 1
+	n.core.TickStabilize(a)
+	n.mu.Unlock()
+	_ = n.run(a)
+	putActs(a)
+}
+
+// run executes the actions one core transition emitted: transmit the
+// sends, fold the hot-path notes into counters, and divert to runCold
+// for anything heavier (deliveries, join completions, failure events).
+// It returns the first transmit error and resets a for reuse.
+func (n *Node) run(a *proto.Actions) error {
+	ins := n.ins.Load()
+	var firstErr error
+	for i := range a.Sends {
+		if err := n.send(a.Sends[i].Addr, a.Sends[i].Pkt); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	// A predecessor that has not sent us a stabilize request in many
-	// rounds is dead or unreachable; clear it so a live claimant can be
-	// adopted (a stale pointer would otherwise block better askers
-	// forever — the Between test only admits improvements).
-	var predCleared *entry
-	if n.pred != nil && n.pred.ID != n.id {
-		n.predMisses++
-		if n.predMisses > predFailThreshold {
-			p := *n.pred
-			predCleared = &p
-			n.pred = nil
-			n.predMisses = 0
+	cold := len(a.Delivers) > 0 || len(a.Joins) > 0
+	for i := range a.Notes {
+		switch a.Notes[i].Kind {
+		case proto.NoteForward:
+			ins.Forwards.Inc()
+		case proto.NoteNoRoute:
+			ins.NoRouteDrops.Inc()
+		case proto.NoteTTLDrop:
+			ins.TTLDrops.Inc()
+		case proto.NoteStabRound:
+			ins.StabilizeRounds.Inc()
+		case proto.NoteLivenessProbe:
+			ins.LivenessProbes.Inc()
+		case proto.NoteDeliver:
+			// Counted as Delivered only after the gate admits it (runCold).
+		default:
+			cold = true
 		}
 	}
-	var evicted *entry
-	var succPkt *wire.Packet
-	var succAddr string
-	if n.succs[0].ID != n.id {
-		// A successor that stays silent across several rounds is dead:
-		// shift the group down (dropSuccessorLocked).
-		if n.lastSucc == nil || *n.lastSucc != n.succs[0].ID {
-			cur := n.succs[0].ID
-			n.lastSucc = &cur
-			n.succMisses = 0
-		}
-		n.succMisses++
-		if n.succMisses > succFailThreshold {
-			dead := n.succs[0]
-			n.dropSuccessorLocked(dead)
-			evicted = &dead
-		}
-		if succ := n.succs[0]; succ.ID != n.id {
-			n.reqSeq++
-			id := n.reqSeq
-			n.noteStabLocked(id)
-			succPkt = &wire.Packet{
-				Type: wire.TypeStabilize, TTL: wire.DefaultTTL,
-				Dst: succ.ID, Src: n.id, ReqID: id,
-				Payload: encodeEntries(n.gossipLocked(self)),
+	if cold {
+		n.runCold(a, ins)
+	}
+	a.Reset()
+	return firstErr
+}
+
+// runCold executes the control-plane actions of a transition: local
+// deliveries (gate check, payload copy, non-blocking channel hand-off),
+// join completions, and the counters and structured events behind
+// evictions, predecessor clears, and served joins.
+//
+//rofllint:coldpath deliveries, join completions, and failure-event reporting run per delivered packet or per control event, not per forwarded packet
+func (n *Node) runCold(a *proto.Actions, ins *Instruments) {
+	var gate Gate
+	if gp := n.gate.Load(); gp != nil {
+		gate = *gp
+	}
+	for i := range a.Delivers {
+		d := a.Delivers[i]
+		if gate != nil {
+			if err := gate(d.Src, d.Capability); err != nil {
+				ins.GateDrops.Inc()
+				continue // default-off: drop unauthorized traffic
 			}
-			succAddr = succ.Addr
+		}
+		// The payload aliases the read loop's decode buffer; the copy is
+		// the ownership-transfer contract with the asynchronous consumer.
+		n.deliver(Delivery{Src: d.Src, Payload: append([]byte(nil), d.Payload...)}, ins)
+	}
+	for _, jr := range a.Joins {
+		n.mu.Lock()
+		ch, ok := n.pending[jr.ReqID]
+		if ok {
+			delete(n.pending, jr.ReqID)
+		}
+		n.mu.Unlock()
+		if ok {
+			select {
+			case ch <- jr.Err:
+			default:
+			}
 		}
 	}
-	var probePkt *wire.Packet
-	var probeAddr string
-	if probe, ok := n.pickProbeLocked(); ok {
-		n.reqSeq++
-		id := n.reqSeq
-		n.noteStabLocked(id)
-		probePkt = &wire.Packet{
-			Type: wire.TypeStabilize, TTL: wire.DefaultTTL,
-			Dst: probe.ID, Src: n.id, ReqID: id,
-			Payload: encodeEntries(n.gossipLocked(self)),
+	for _, nt := range a.Notes {
+		switch nt.Kind {
+		case proto.NoteSuccEvicted:
+			ins.SuccEvictions.Inc()
+			if nt.Reason == proto.ReasonLivenessTimeout {
+				ins.LivenessFailovers.Inc()
+			}
+			ins.Events.Warn(eventSuccEvicted,
+				"peer", nt.Peer.Short(), "addr", nt.Addr, "reason", nt.Reason)
+		case proto.NotePredCleared:
+			ins.PredClears.Inc()
+			ins.Events.Info(eventPredCleared,
+				"peer", nt.Peer.Short(), "addr", nt.Addr, "reason", nt.Reason)
+		case proto.NoteJoinServed:
+			ins.JoinsServed.Inc()
+			ins.Events.Info(eventJoinServed, "joiner", nt.Peer.Short(), "addr", nt.Addr)
 		}
-		probeAddr = probe.Addr
-	}
-	n.mu.Unlock()
-	if predCleared != nil {
-		ins.PredClears.Inc()
-		ins.Events.Info(eventPredCleared,
-			"peer", predCleared.ID.Short(), "addr", predCleared.Addr, "reason", "stabilize-silence")
-	}
-	if evicted != nil {
-		ins.SuccEvictions.Inc()
-		ins.Events.Warn(eventSuccEvicted,
-			"peer", evicted.ID.Short(), "addr", evicted.Addr, "reason", "stabilize-timeout")
-	}
-	if succPkt != nil {
-		_ = n.send(succAddr, succPkt)
-	}
-	if probePkt != nil {
-		_ = n.send(probeAddr, probePkt)
 	}
 }
 
-//rofllint:coldpath stabilize control message, one per ring-maintenance round, not per forwarded packet
-func (n *Node) handleStabilize(pkt *wire.Packet) {
-	es, err := decodeEntries(pkt.Payload)
-	if err != nil || len(es) < 1 {
-		return
+// deliver hands a packet to the application without ever blocking the
+// read loop: when the consumer is not draining, the packet is dropped
+// and counted instead.
+func (n *Node) deliver(d Delivery, ins *Instruments) {
+	select {
+	case n.deliveries <- d:
+		ins.Delivered.Inc()
+	default:
+		n.dropCount.Add(1)
+		ins.DeliveryDrops.Inc()
 	}
-	// The request carries the asker first, then gossiped peers.
-	asker := es[0]
-	n.mu.Lock()
-	delete(n.quar, asker.ID) // the asker spoke for itself: proof of life
-	for _, e := range es {
-		n.learnLocked(e)
-	}
-	// The asker believes we are its successor; adopt it as predecessor
-	// when it falls between our current predecessor and us. Hearing from
-	// the current predecessor proves it alive.
-	if asker.ID != n.id && (n.pred == nil || ident.Between(asker.ID, n.pred.ID, n.id)) {
-		p := asker
-		n.pred = &p
-		n.predMisses = 0
-	} else if n.pred != nil && asker.ID == n.pred.ID {
-		n.predMisses = 0
-	}
-	// Symmetric repair: an asker that falls between us and our current
-	// successor is a better successor — adopt it. This is how the
-	// responder side of a repair probe re-links a merged ring.
-	if len(n.succs) > 0 && asker.ID != n.id &&
-		ident.Between(asker.ID, n.id, n.succs[0].ID) && asker.ID != n.succs[0].ID {
-		n.succs = append([]entry{asker}, n.succs...)
-		if len(n.succs) > SuccessorGroupSize {
-			n.succs = n.succs[:SuccessorGroupSize]
-		}
-	}
-	reply := make([]entry, 0, 1+len(n.succs))
-	if n.pred != nil {
-		reply = append(reply, *n.pred)
-	} else {
-		reply = append(reply, entry{ID: n.id, Addr: n.tr.LocalAddr()})
-	}
-	reply = append(reply, n.succs...)
-	n.mu.Unlock()
-	out := &wire.Packet{
-		Type: wire.TypeStabilizeReply, TTL: wire.DefaultTTL,
-		Dst: asker.ID, Src: n.id, ReqID: pkt.ReqID,
-		Payload: encodeEntries(reply),
-	}
-	_ = n.send(asker.Addr, out)
-}
-
-//rofllint:coldpath stabilize control message, one per ring-maintenance round, not per forwarded packet
-func (n *Node) handleStabilizeReply(pkt *wire.Packet, from string) {
-	es, err := decodeEntries(pkt.Payload)
-	if err != nil || len(es) < 1 {
-		return
-	}
-	responder := entry{ID: pkt.Src, Addr: from}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.recentStab[pkt.ReqID]; !ok {
-		return // stale, duplicated, or unsolicited reply
-	}
-	delete(n.recentStab, pkt.ReqID)
-	delete(n.quar, pkt.Src) // the responder spoke for itself: proof of life
-	n.learnLocked(responder)
-	for _, e := range es {
-		n.learnLocked(e)
-	}
-	if len(n.succs) == 0 {
-		return
-	}
-	if pkt.Src == n.succs[0].ID {
-		n.succMisses = 0 // the successor is alive
-	}
-	// Adopt any candidate — the responder itself or anyone it reported —
-	// that falls between us and our current successor: the reply to a
-	// normal stabilize tightens the ring exactly as before, and the
-	// reply to a repair probe splices a foreign ring's nodes in.
-	candidates := append([]entry{responder}, es...)
-	for _, c := range candidates {
-		if c.ID == n.id {
-			continue
-		}
-		if _, dead := n.quar[c.ID]; dead {
-			continue // hearsay cannot resurrect a peer this node saw die
-		}
-		if ident.Between(c.ID, n.id, n.succs[0].ID) && c.ID != n.succs[0].ID {
-			n.succs = append([]entry{c}, n.succs...)
-		}
-	}
-	// Refresh the successor group: head, then the responder and its own
-	// successor list in order. Built in a fresh slice — appending into
-	// n.succs' backing array would race with readers holding pointers
-	// into it.
-	group := append(make([]entry, 0, SuccessorGroupSize), n.succs[0])
-	for _, e := range append([]entry{responder}, es[1:]...) {
-		if len(group) >= SuccessorGroupSize {
-			break
-		}
-		if e.ID == n.id || containsID(group, e.ID) {
-			continue
-		}
-		if _, dead := n.quar[e.ID]; dead {
-			continue // keep quarantined corpses out of the fallback group too
-		}
-		group = append(group, e)
-	}
-	n.succs = group
-}
-
-func containsID(es []entry, id ident.ID) bool {
-	for _, e := range es {
-		if e.ID == id {
-			return true
-		}
-	}
-	return false
 }
 
 // SuccessorGroup returns a snapshot of the successor group's
@@ -660,8 +462,9 @@ func containsID(es []entry, id ident.ID) bool {
 func (n *Node) SuccessorGroup() []ident.ID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]ident.ID, len(n.succs))
-	for i, e := range n.succs {
+	succs := n.core.Successors()
+	out := make([]ident.ID, len(succs))
+	for i, e := range succs {
 		out[i] = e.ID
 	}
 	return out
@@ -672,20 +475,16 @@ func (n *Node) SuccessorGroup() []ident.ID {
 func (n *Node) Successor() (ident.ID, string, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.succs) == 0 {
-		return ident.ID{}, "", false
-	}
-	return n.succs[0].ID, n.succs[0].Addr, true
+	s, ok := n.core.Successor()
+	return s.ID, s.Addr, ok
 }
 
 // Predecessor returns the predecessor pointer.
 func (n *Node) Predecessor() (ident.ID, string, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.pred == nil {
-		return ident.ID{}, "", false
-	}
-	return n.pred.ID, n.pred.Addr, true
+	p, ok := n.core.Predecessor()
+	return p.ID, p.Addr, ok
 }
 
 // Bootstrap makes this node the first ring member: it is its own
@@ -693,14 +492,12 @@ func (n *Node) Predecessor() (ident.ID, string, bool) {
 func (n *Node) Bootstrap() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	self := entry{ID: n.id, Addr: n.tr.LocalAddr()}
-	n.succs = []entry{self}
-	n.pred = &self
+	n.core.Bootstrap()
 }
 
-// register allocates a request ID and its reply channel in the bounded
-// in-flight table.
-func (n *Node) register() (uint64, chan *wire.Packet, error) {
+// register allocates a request ID and its completion channel in the
+// bounded in-flight table.
+func (n *Node) register() (uint64, chan error, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -709,9 +506,8 @@ func (n *Node) register() (uint64, chan *wire.Packet, error) {
 	if len(n.pending) >= maxInFlight {
 		return 0, nil, ErrBusy
 	}
-	n.reqSeq++
-	id := n.reqSeq
-	ch := make(chan *wire.Packet, 1)
+	id := n.core.NextReqID()
+	ch := make(chan error, 1)
 	n.pending[id] = ch
 	return id, ch, nil
 }
@@ -719,45 +515,28 @@ func (n *Node) register() (uint64, chan *wire.Packet, error) {
 func (n *Node) unregister(id uint64) {
 	n.mu.Lock()
 	delete(n.pending, id)
+	n.core.AbortJoin(id)
 	n.mu.Unlock()
 }
 
-// resolve hands a reply to the matching in-flight request, if any. The
-// packet is cloned before it crosses the channel: the read loop reuses
-// its decode packet for the next datagram, but the waiting requester
-// consumes the reply asynchronously.
-//
-//rofllint:coldpath request/reply resolution runs once per control round trip; the clone is the asynchronous-consumer contract
-func (n *Node) resolve(pkt *wire.Packet) {
-	n.mu.Lock()
-	ch, ok := n.pending[pkt.ReqID]
-	if ok {
-		delete(n.pending, pkt.ReqID)
-	}
-	n.mu.Unlock()
-	if ok {
-		select {
-		case ch <- pkt.Clone():
-		default:
-		}
-	}
-}
-
-// request sends pkt to addr and waits for the reply carrying the same
-// request ID, retransmitting with exponential backoff until the timeout
-// expires. Retransmissions reuse the request ID, so the far side may
-// process the request more than once — handlers are idempotent — and any
-// one reply completes the exchange.
-func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*wire.Packet, error) {
+// Join splices the node into the ring through any existing member: a
+// join request is greedy-routed toward the node's own identifier; the
+// predecessor that receives it replies with the successor set and
+// notifies its old successor (§3.1). The request is retried with
+// backoff until timeout — a single lost datagram does not fail the
+// join — and retries are idempotent at the predecessor.
+func (n *Node) Join(via string, timeout time.Duration) error {
 	ins := n.ins.Load()
 	id, ch, err := n.register()
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("overlay: join via %s: %w", via, err)
 	}
 	defer n.unregister(id)
-	pkt.ReqID = id
+	a := getActs()
+	defer putActs(a)
 	n.mu.Lock()
 	retry := n.retry
+	n.core.StartJoin(id, via, a)
 	n.mu.Unlock()
 	deadline := time.Now().Add(timeout)
 	backoff := retry.Initial
@@ -769,34 +548,39 @@ func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*w
 	exhausted := func(attempt int) error {
 		ins.RequestTimeouts.Inc()
 		ins.Events.Warn(eventRequestTimeout,
-			"type", pkt.Type.String(), "to", addr, "attempts", attempt, "timeout", timeout)
-		return fmt.Errorf("%w after %d attempts", ErrTimeout, attempt)
+			"type", wire.TypeJoinRequest.String(), "to", via, "attempts", attempt, "timeout", timeout)
+		return fmt.Errorf("overlay: join via %s: %w after %d attempts", via, ErrTimeout, attempt)
 	}
 	for attempt := 1; ; attempt++ {
 		if attempt > 1 {
 			ins.Retransmits.Inc()
+			n.mu.Lock()
+			if !n.closed {
+				n.core.RetryJoin(id, a)
+			}
+			n.mu.Unlock()
 		}
-		if err := n.send(addr, pkt); err != nil {
-			return nil, err
+		if err := n.run(a); err != nil {
+			return fmt.Errorf("overlay: join via %s: %w", via, err)
 		}
 		wait := backoff
 		if rem := time.Until(deadline); rem < wait {
 			wait = rem
 		}
 		if wait <= 0 {
-			return nil, exhausted(attempt)
+			return exhausted(attempt)
 		}
 		t := time.NewTimer(wait)
 		select {
-		case reply := <-ch:
+		case err := <-ch:
 			t.Stop()
-			return reply, nil
+			return err // nil on success; the core's decode error otherwise
 		case <-n.done:
 			t.Stop()
-			return nil, ErrClosed
+			return fmt.Errorf("overlay: join via %s: %w", via, ErrClosed)
 		case <-t.C:
 			if !time.Now().Before(deadline) {
-				return nil, exhausted(attempt)
+				return exhausted(attempt)
 			}
 			backoff = time.Duration(float64(backoff) * retry.Multiplier)
 			if retry.Max > 0 && backoff > retry.Max {
@@ -804,62 +588,6 @@ func (n *Node) request(addr string, pkt *wire.Packet, timeout time.Duration) (*w
 			}
 		}
 	}
-}
-
-// Join splices the node into the ring through any existing member: a
-// join request is greedy-routed toward the node's own identifier; the
-// predecessor that receives it replies with the successor set and
-// notifies its old successor (§3.1). The request is retried with
-// backoff until timeout — a single lost datagram no longer fails the
-// join — and retries are idempotent at the predecessor.
-func (n *Node) Join(via string, timeout time.Duration) error {
-	pkt := &wire.Packet{
-		Type: wire.TypeJoinRequest,
-		TTL:  wire.DefaultTTL,
-		Dst:  n.id,
-		Src:  n.id,
-		// Payload carries our address so the predecessor can answer and
-		// the ring can point at us.
-		Payload: encodeEntries([]entry{{ID: n.id, Addr: n.tr.LocalAddr()}}),
-	}
-	reply, err := n.request(via, pkt, timeout)
-	if err != nil {
-		return fmt.Errorf("overlay: join via %s: %w", via, err)
-	}
-	return n.applyJoinReply(reply)
-}
-
-func (n *Node) applyJoinReply(pkt *wire.Packet) error {
-	es, err := decodeEntries(pkt.Payload)
-	if err != nil || len(es) < 1 {
-		return fmt.Errorf("overlay: malformed join reply")
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	pred := es[0]
-	for _, e := range es {
-		n.learnLocked(e)
-	}
-	if pred.ID != n.id {
-		n.pred = &pred
-		n.predMisses = 0
-	}
-	succs := make([]entry, 0, SuccessorGroupSize)
-	for _, e := range es[1:] {
-		if e.ID == n.id {
-			continue
-		}
-		succs = append(succs, e)
-		if len(succs) >= SuccessorGroupSize {
-			break
-		}
-	}
-	if len(succs) == 0 {
-		// Two-node ring: our predecessor is also our successor.
-		succs = append(succs, pred)
-	}
-	n.succs = succs
-	return nil
 }
 
 // Send greedy-routes a data payload toward dst.
@@ -871,15 +599,32 @@ func (n *Node) Send(dst ident.ID, payload []byte) error {
 // token in the wire header (§5.3): the destination's gate verifies it
 // before delivering.
 func (n *Node) SendWithCapability(dst ident.ID, payload, capability []byte) error {
-	pkt := &wire.Packet{
-		Type:       wire.TypeData,
-		TTL:        wire.DefaultTTL,
-		Dst:        dst,
-		Src:        n.id,
-		Capability: capability,
-		Payload:    payload,
+	a := getActs()
+	defer putActs(a)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
 	}
-	return n.forward(pkt)
+	n.core.Originate(dst, payload, capability, a)
+	n.mu.Unlock()
+	return n.run(a)
+}
+
+// forward routes an already-built packet through the core — the
+// benchmark entry point for one greedy next-hop decision plus marshal
+// and send.
+func (n *Node) forward(pkt *wire.Packet) error {
+	a := getActs()
+	defer putActs(a)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.core.ForwardData(pkt, a)
+	n.mu.Unlock()
+	return n.run(a)
 }
 
 // sendBufs pools marshal buffers across sends: every Transport
@@ -911,14 +656,16 @@ func (n *Node) readLoop() {
 	// The loop owns one receive buffer (when the transport can fill a
 	// caller-provided one) and one decode packet, reused across
 	// datagrams: handlers run synchronously and copy what they keep
-	// (resolve clones, deliver copies the payload), so steady-state
-	// receive costs no allocation.
+	// (runCold copies delivered payloads), so steady-state receive costs
+	// no allocation.
 	recvInto, buffered := n.tr.(netem.BufferedTransport)
 	var recvBuf []byte
 	if buffered {
 		recvBuf = make([]byte, 64*1024) //rofllint:ignore hotpath one-time buffer allocated before the loop, reused for every datagram
 	}
 	var pkt wire.Packet
+	a := getActs()
+	defer putActs(a)
 	for {
 		var buf []byte
 		var from string
@@ -936,231 +683,30 @@ func (n *Node) readLoop() {
 		if err := pkt.DecodeFromBytes(buf); err != nil {
 			continue // drop malformed datagrams
 		}
-		n.handle(&pkt, from)
+		n.handle(&pkt, from, a)
 	}
 }
 
+// handle feeds one decoded packet into the core under the lock, then
+// executes the emitted actions outside it. Emitted sends may alias pkt,
+// and run transmits them before handle returns — satisfying the core's
+// contract that the driver not reuse pkt until the sends are out. A
+// packet arriving after Close is dropped.
+//
+// The caller owns a: the read loop holds one Actions buffer for its
+// whole life, so the per-datagram path never touches the pool.
+//
 //rofllint:hotpath
-func (n *Node) handle(pkt *wire.Packet, from string) {
-	switch pkt.Type {
-	case wire.TypeData:
-		if pkt.Dst == n.id {
-			n.deliverLocal(pkt)
-			return
-		}
-		if pkt.TTL == 0 {
-			n.ins.Load().TTLDrops.Inc()
-			return
-		}
-		pkt.TTL--
-		_ = n.forward(pkt)
-	case wire.TypeJoinRequest:
-		n.handleJoin(pkt)
-	case wire.TypeJoinReply:
-		n.resolve(pkt)
-	case wire.TypeAck:
-		n.handleNotify(pkt)
-	case wire.TypeStabilize:
-		n.handleStabilize(pkt)
-	case wire.TypeStabilizeReply:
-		n.handleStabilizeReply(pkt, from)
-	case wire.TypeLiveness:
-		n.handleLivenessProbe(pkt, from)
-	case wire.TypeLivenessReply:
-		n.handleLivenessReply(pkt, from)
-	}
-}
-
-// deliverLocal terminates a data packet at its destination: it runs the
-// capability gate and hands the payload to the application. Ownership
-// of the payload transfers to the consumer, so the copy here is the
-// delivery contract, not forwarding overhead — the per-hop fast path
-// never reaches this function.
-//
-//rofllint:coldpath delivery at the destination; the payload copy and gate callback are the ownership-transfer contract, off the per-hop forwarding path
-func (n *Node) deliverLocal(pkt *wire.Packet) {
+func (n *Node) handle(pkt *wire.Packet, from string, a *proto.Actions) {
 	n.mu.Lock()
-	gate := n.gate
-	n.mu.Unlock()
-	if gate != nil {
-		if err := gate(pkt.Src, pkt.Capability); err != nil {
-			n.ins.Load().GateDrops.Inc()
-			return // default-off: drop unauthorized traffic
-		}
-	}
-	n.deliver(Delivery{Src: pkt.Src, Payload: append([]byte(nil), pkt.Payload...)})
-}
-
-// deliver hands a packet to the application without ever blocking the
-// read loop: when the consumer is not draining, the packet is dropped
-// and counted instead.
-func (n *Node) deliver(d Delivery) {
-	ins := n.ins.Load()
-	select {
-	case n.deliveries <- d:
-		ins.Delivered.Inc()
-	default:
-		n.dropCount.Add(1)
-		ins.DeliveryDrops.Inc()
-	}
-}
-
-// forward implements greedy next-hop choice over the node's ring
-// pointers: closest to pkt.Dst without overshooting our own position.
-func (n *Node) forward(pkt *wire.Packet) error {
-	return n.forwardExcept(pkt, n.id)
-}
-
-// forwardExcept is forward with one identifier barred as next hop (the
-// node's own ID bars nothing extra). Join requests exclude the joiner
-// itself: once the ring already points at a joiner whose join reply was
-// lost, a retried request must reach the joiner's predecessor — which
-// can answer — rather than short-circuiting to the joiner, which cannot.
-func (n *Node) forwardExcept(pkt *wire.Packet, exclude ident.ID) error {
-	n.mu.Lock()
-	var best *entry
-	var bestDist ident.ID
-	consider := func(e *entry) {
-		if e.ID == n.id || e.ID == exclude || !ident.Progress(n.id, pkt.Dst, e.ID) {
-			return
-		}
-		d := e.ID.Distance(pkt.Dst)
-		if best == nil || d.Cmp(bestDist) < 0 {
-			best, bestDist = e, d
-		}
-	}
-	for i := range n.succs {
-		consider(&n.succs[i])
-	}
-	if n.pred != nil {
-		consider(n.pred)
-	}
-	var bestAddr string
-	if best != nil {
-		bestAddr = best.Addr // copy before unlock: best aliases n.succs
-	} else if e, ok := n.known.bestProgress(n.id, pkt.Dst, exclude); ok {
-		// No ring pointer makes progress — before dropping, consult the
-		// sorted known index for the closest remembered peer that does
-		// (an O(log n) lookup). This is the pointer-cache role §2.2
-		// assigns to opportunistically learned state: at worst the peer
-		// is dead and the packet is lost exactly as it would have been
-		// dropped here; at best it short-cuts to the destination's ring
-		// segment during churn.
-		bestAddr = e.Addr
-	}
-	n.mu.Unlock()
-	ins := n.ins.Load()
-	if bestAddr == "" {
-		// We are the destination's predecessor and it is not present:
-		// drop (the overlay has no parked ephemerals).
-		ins.NoRouteDrops.Inc()
-		return nil
-	}
-	ins.Forwards.Inc()
-	return n.send(bestAddr, pkt)
-}
-
-// handleJoin runs at every node a join request traverses. If the joining
-// identifier falls between us and our successor, we are its predecessor:
-// reply with the successor set, adopt the joiner as our new successor,
-// and notify the old successor to update its predecessor. Otherwise
-// forward greedily (never to the joiner itself). The splice is
-// idempotent: a retransmitted request from a joiner we already adopted
-// produces the same reply again and mutates nothing.
-//
-//rofllint:coldpath join control message, one per membership change; the splice, reply marshal, and journal entry are not per-packet work
-func (n *Node) handleJoin(pkt *wire.Packet) {
-	src, err := decodeEntries(pkt.Payload)
-	if err != nil || len(src) != 1 {
-		return
-	}
-	joiner := src[0]
-	if joiner.ID == n.id {
-		return // our own retried join found its way back; only the predecessor can answer
-	}
-	n.mu.Lock()
-	if len(n.succs) == 0 {
+	if n.closed {
 		n.mu.Unlock()
-		return // not bootstrapped yet
-	}
-	delete(n.quar, joiner.ID) // a joiner is alive by definition
-	n.learnLocked(joiner)
-	succ := n.succs[0]
-	isPred := succ.ID == n.id || ident.Between(joiner.ID, n.id, succ.ID)
-	if !isPred {
-		n.mu.Unlock()
-		if pkt.TTL == 0 {
-			return
-		}
-		pkt.TTL--
-		_ = n.forwardExcept(pkt, joiner.ID)
+		a.Reset()
 		return
 	}
-	// Splice: joiner inherits our successor set; we adopt the joiner.
-	reply := make([]entry, 0, SuccessorGroupSize+1)
-	reply = append(reply, entry{ID: n.id, Addr: n.tr.LocalAddr()}) // predecessor first
-	reply = append(reply, n.succs...)
-	newSuccs := make([]entry, 0, SuccessorGroupSize)
-	newSuccs = append(newSuccs, joiner)
-	for _, e := range n.succs {
-		if len(newSuccs) >= SuccessorGroupSize {
-			break
-		}
-		if e.ID != joiner.ID && e.ID != n.id {
-			newSuccs = append(newSuccs, e)
-		}
-	}
-	n.succs = newSuccs
-	if succ.ID == n.id {
-		// We were alone; in a two-node ring the joiner is also our
-		// predecessor.
-		n.pred = &joiner
-		n.predMisses = 0
-	}
-	oldSucc := succ
+	n.core.HandlePacket(pkt, from, a)
 	n.mu.Unlock()
-
-	ins := n.ins.Load()
-	ins.JoinsServed.Inc()
-	ins.Events.Info(eventJoinServed, "joiner", joiner.ID.Short(), "addr", joiner.Addr)
-	out := &wire.Packet{
-		Type: wire.TypeJoinReply, TTL: wire.DefaultTTL,
-		Dst: joiner.ID, Src: n.id, ReqID: pkt.ReqID,
-		Payload: encodeEntries(reply),
-	}
-	_ = n.send(joiner.Addr, out)
-	// Tell the old successor its predecessor changed. On a retransmitted
-	// request the old successor is the joiner itself — nothing to notify.
-	if oldSucc.ID != n.id && oldSucc.ID != joiner.ID {
-		notify := &wire.Packet{
-			Type: wire.TypeAck, TTL: wire.DefaultTTL,
-			Dst: oldSucc.ID, Src: n.id,
-			Payload: encodeEntries([]entry{joiner}),
-		}
-		_ = n.send(oldSucc.Addr, notify)
-	}
-}
-
-//rofllint:coldpath ring-splice notification, one per membership change, not per forwarded packet
-func (n *Node) handleNotify(pkt *wire.Packet) {
-	es, err := decodeEntries(pkt.Payload)
-	if err != nil || len(es) != 1 {
-		return
-	}
-	p := es[0]
-	if p.ID == n.id {
-		return // a stale notification must never make us our own predecessor
-	}
-	n.mu.Lock()
-	n.learnLocked(p)
-	// Adopt the notified predecessor only when it improves on the
-	// current one — unconditional adoption would let stale notifications
-	// from concurrent joins regress the ring.
-	if n.pred == nil || n.pred.ID == n.id || ident.Between(p.ID, n.pred.ID, n.id) {
-		n.pred = &p
-		n.predMisses = 0
-	}
-	n.mu.Unlock()
+	_ = n.run(a)
 }
 
 // Ring returns the node's view of the ring, for debugging: predecessor,
@@ -1168,13 +714,5 @@ func (n *Node) handleNotify(pkt *wire.Packet) {
 func (n *Node) Ring() []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var out []string
-	if n.pred != nil {
-		out = append(out, "pred:"+n.pred.ID.Short())
-	}
-	out = append(out, "self:"+n.id.Short())
-	for _, s := range n.succs {
-		out = append(out, "succ:"+s.ID.Short())
-	}
-	return out
+	return n.core.Ring()
 }

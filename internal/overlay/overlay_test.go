@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"rofl/internal/ident"
+	"rofl/internal/wire"
 )
 
 const joinTimeout = 2 * time.Second
@@ -149,6 +151,77 @@ func TestCloseIsIdempotent(t *testing.T) {
 	}
 }
 
+// TestCloseThenLateEventsAreNoOps pins the teardown contract: once
+// Close returns, every late event a racing timer or reader could still
+// fire — a maintenance tick, a liveness tick, an arriving datagram, an
+// API call — must be a silent no-op. Before the core extraction a late
+// stabilize tick could race node teardown; now every entry point checks
+// the closed flag under the same lock that guards the core.
+func TestCloseThenLateEventsAreNoOps(t *testing.T) {
+	a, err := New(ident.FromString("late-a"), Config{Stabilize: 5 * time.Millisecond, EnableLiveness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Bootstrap()
+	b, err := New(ident.FromString("late-b"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := b.Join(a.Addr(), joinTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Late internal events, exactly as the maintenance goroutines would
+	// fire them after losing the race with Close.
+	a.stabilizeOnceRound()
+	a.livenessTick()
+
+	// A datagram that arrives after Close is dropped, even one addressed
+	// to the node itself (which would otherwise deliver).
+	pkt := &wire.Packet{
+		Type: wire.TypeData, TTL: wire.DefaultTTL,
+		Src: b.ID(), Dst: a.ID(), Payload: []byte("late"),
+	}
+	acts := getActs()
+	a.handle(pkt, b.Addr(), acts)
+	putActs(acts)
+	select {
+	case d, ok := <-a.Deliveries():
+		if ok {
+			t.Fatalf("post-Close delivery of %q", d.Payload)
+		}
+		// Channel closed by Close: correct.
+	default:
+	}
+
+	// Public API surfaces report ErrClosed instead of acting.
+	if err := a.Send(b.ID(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	if err := a.Join(b.Addr(), 100*time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Join after Close = %v, want ErrClosed", err)
+	}
+	// Restarting maintenance on a closed node must not spawn goroutines.
+	a.StartStabilize(time.Millisecond)
+	a.StartLiveness(DefaultLivenessParams())
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The peer stays healthy: late events on the corpse never wedged a
+	// lock or crashed a goroutine. Sending toward the dead node is a
+	// silent drop, like UDP — not an error, not a hang.
+	if len(b.Ring()) == 0 {
+		t.Fatal("survivor lost its ring state")
+	}
+	if err := b.Send(a.ID(), []byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestJoinTimeoutAgainstDeadAddress(t *testing.T) {
 	n, err := NewNode(ident.FromString("lost"), "127.0.0.1:0")
 	if err != nil {
@@ -160,26 +233,6 @@ func TestJoinTimeoutAgainstDeadAddress(t *testing.T) {
 	err = n.Join("127.0.0.1:1", 200*time.Millisecond)
 	if err == nil {
 		t.Fatal("join against dead address should fail")
-	}
-}
-
-func TestEntryCodecRoundTrip(t *testing.T) {
-	in := []entry{
-		{ID: ident.FromString("a"), Addr: "127.0.0.1:1000"},
-		{ID: ident.FromString("b"), Addr: "[::1]:2000"},
-	}
-	out, err := decodeEntries(encodeEntries(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
-		t.Fatalf("round trip: %v", out)
-	}
-	if _, err := decodeEntries([]byte{0}); err == nil {
-		t.Fatal("short buffer must fail")
-	}
-	if _, err := decodeEntries([]byte{0, 5, 1, 2}); err == nil {
-		t.Fatal("truncated entries must fail")
 	}
 }
 

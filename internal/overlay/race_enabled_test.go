@@ -1,0 +1,9 @@
+//go:build race
+
+package overlay
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// race, sync.Pool deliberately discards a fraction of puts to widen
+// the schedules it can observe, so pooled buffers show up as
+// allocations and AllocsPerRun pins are meaningless.
+const raceEnabled = true

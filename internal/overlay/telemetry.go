@@ -117,13 +117,14 @@ func (n *Node) Status() Status {
 	st := Status{
 		ID:         n.id.String(),
 		Addr:       n.tr.LocalAddr(),
-		KnownPeers: n.known.len(),
-		Successors: make([]PeerStatus, 0, len(n.succs)),
+		KnownPeers: n.core.KnownPeers(),
 	}
-	if n.pred != nil {
-		st.Predecessor = &PeerStatus{ID: n.pred.ID.String(), Addr: n.pred.Addr}
+	if p, ok := n.core.Predecessor(); ok {
+		st.Predecessor = &PeerStatus{ID: p.ID.String(), Addr: p.Addr}
 	}
-	for _, s := range n.succs {
+	succs := n.core.Successors()
+	st.Successors = make([]PeerStatus, 0, len(succs))
+	for _, s := range succs {
 		st.Successors = append(st.Successors, PeerStatus{ID: s.ID.String(), Addr: s.Addr})
 	}
 	n.mu.Unlock()

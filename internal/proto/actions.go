@@ -1,0 +1,130 @@
+package proto
+
+import (
+	"rofl/internal/ident"
+	"rofl/internal/wire"
+)
+
+// Send asks the driver to transmit one packet to one transport
+// address. The packet pointer may alias the packet the core was handed
+// (transit forwarding reuses the decoded packet after adjusting the
+// TTL), so the driver must transmit before decoding the next datagram
+// into the same packet — the contract every synchronous read loop
+// satisfies for free.
+type Send struct {
+	Addr string
+	Pkt  *wire.Packet
+}
+
+// Delivery asks the driver to hand a data payload to the local
+// application. Capability and Payload alias the handled packet's
+// buffers; a driver that consumes them asynchronously must copy.
+type Delivery struct {
+	Src        ident.ID
+	Capability []byte
+	Payload    []byte
+}
+
+// JoinResult reports the completion of a join attempt started with
+// StartJoin: the reply arrived (Err nil) or was malformed (Err set).
+// Timeouts never produce a JoinResult — time belongs to the driver,
+// which gives up by calling AbortJoin.
+type JoinResult struct {
+	ReqID uint64
+	Err   error
+}
+
+// NoteKind classifies a protocol observation.
+type NoteKind uint8
+
+// The note vocabulary: everything the core observes or decides that a
+// driver may want to count, log, or journal. Hot-path notes (forward,
+// drops, deliver) are emitted per packet; the rest are per control
+// event.
+const (
+	NoteForward NoteKind = iota + 1
+	NoteNoRoute
+	NoteTTLDrop
+	NoteDeliver
+	NoteStabRound
+	NoteJoinServed
+	NoteJoinDone
+	NoteSuccEvicted
+	NotePredCleared
+	NoteLivenessProbe
+)
+
+// String names the note kind (stable: the cross-driver equivalence
+// journal is built from these strings).
+func (k NoteKind) String() string {
+	switch k {
+	case NoteForward:
+		return "forward"
+	case NoteNoRoute:
+		return "drop-no-route"
+	case NoteTTLDrop:
+		return "drop-ttl"
+	case NoteDeliver:
+		return "deliver"
+	case NoteStabRound:
+		return "stab-round"
+	case NoteJoinServed:
+		return "join-served"
+	case NoteJoinDone:
+		return "join-done"
+	case NoteSuccEvicted:
+		return "succ-evicted"
+	case NotePredCleared:
+		return "pred-cleared"
+	case NoteLivenessProbe:
+		return "liveness-probe"
+	default:
+		return "note"
+	}
+}
+
+// Eviction reasons carried in Note.Reason, named by the detector that
+// reached the verdict.
+const (
+	ReasonStabilizeTimeout = "stabilize-timeout"
+	ReasonStabilizeSilence = "stabilize-silence"
+	ReasonLivenessTimeout  = "liveness-timeout"
+)
+
+// Note is one protocol observation: the kind, the peer it concerns
+// (zero when none), and a constant reason string for evictions.
+type Note struct {
+	Kind   NoteKind
+	Peer   ident.ID
+	Addr   string
+	Reason string
+}
+
+// Actions accumulates everything one core transition asks of its
+// driver. The driver executes the actions in slice order after the
+// transition returns, then calls Reset; the slices keep their capacity,
+// so a reused Actions costs the steady-state hot path no allocations.
+type Actions struct {
+	Sends    []Send
+	Delivers []Delivery
+	Joins    []JoinResult
+	Notes    []Note
+}
+
+// Reset truncates every action list, keeping capacity for reuse.
+func (a *Actions) Reset() {
+	a.Sends = a.Sends[:0]
+	a.Delivers = a.Delivers[:0]
+	a.Joins = a.Joins[:0]
+	a.Notes = a.Notes[:0]
+}
+
+// send queues one transmit action.
+func (a *Actions) send(addr string, pkt *wire.Packet) {
+	a.Sends = append(a.Sends, Send{Addr: addr, Pkt: pkt})
+}
+
+// note records one observation.
+func (a *Actions) note(k NoteKind, peer ident.ID, addr, reason string) {
+	a.Notes = append(a.Notes, Note{Kind: k, Peer: peer, Addr: addr, Reason: reason})
+}

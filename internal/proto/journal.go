@@ -1,0 +1,46 @@
+package proto
+
+import (
+	"fmt"
+	"strings"
+
+	"rofl/internal/ident"
+)
+
+// Journal renders a core's note stream as text, one line per note. The
+// cross-driver equivalence test runs the same seeded schedule through
+// the sim driver and the netem driver and byte-compares the two
+// journals — so lines are built only from protocol-determined fields
+// (note kind, peer ID, reason) plus caller-supplied step markers, never
+// from transport addresses, wall-clock time, or anything else a driver
+// could render differently.
+type Journal struct {
+	b strings.Builder
+}
+
+// Markf appends a caller-formatted marker line — step boundaries, churn
+// events — so the two journals line up structurally, not just as a
+// multiset of notes.
+func (j *Journal) Markf(format string, args ...any) {
+	fmt.Fprintf(&j.b, format, args...)
+	j.b.WriteByte('\n')
+}
+
+// Record appends every note in a, in order.
+func (j *Journal) Record(a *Actions) {
+	for _, n := range a.Notes {
+		j.b.WriteString(n.Kind.String())
+		if n.Peer != (ident.ID{}) {
+			j.b.WriteByte(' ')
+			j.b.WriteString(n.Peer.Short())
+		}
+		if n.Reason != "" {
+			j.b.WriteByte(' ')
+			j.b.WriteString(n.Reason)
+		}
+		j.b.WriteByte('\n')
+	}
+}
+
+// String returns the journal text accumulated so far.
+func (j *Journal) String() string { return j.b.String() }

@@ -1,29 +1,89 @@
-package overlay
+package proto
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"sort"
 
 	"rofl/internal/ident"
 )
 
-// peerSet is the node's memory of every peer it has heard of, indexed
+// Peer pairs a flat label with the transport address hosting it — the
+// one piece of location the protocol ever handles, and only as an
+// opaque string the driver knows how to dial.
+type Peer struct {
+	ID   ident.ID
+	Addr string
+}
+
+// EncodePeers serializes pointer entries into a packet payload:
+// count(2) then per entry id(16) addrLen(2) addr. It is the payload
+// codec of every ring-maintenance message (join, stabilize, notify).
+func EncodePeers(es []Peer) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(len(es)))
+	for _, e := range es {
+		buf = append(buf, e.ID[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Addr)))
+		buf = append(buf, e.Addr...)
+	}
+	return buf
+}
+
+// DecodePeers parses an EncodePeers payload.
+func DecodePeers(b []byte) ([]Peer, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("proto: short entry list")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	out := make([]Peer, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < ident.Size+2 {
+			return nil, fmt.Errorf("proto: truncated entry %d", i)
+		}
+		var e Peer
+		copy(e.ID[:], b[:ident.Size])
+		b = b[ident.Size:]
+		alen := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < alen {
+			return nil, fmt.Errorf("proto: truncated address %d", i)
+		}
+		e.Addr = string(b[:alen])
+		b = b[alen:]
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func containsID(es []Peer, id ident.ID) bool {
+	for _, e := range es {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// peerSet is the core's memory of every peer it has heard of, indexed
 // two ways: a map for O(1) address lookup and a sorted ID slice for
 // O(log n) successor/closest-predecessor queries and for seeded-RNG
 // sampling over a stable order. Map iteration order is never used — Go
 // randomizes it per run *and* biases it, so gossip fanout, probe
-// choice, and eviction all draw from the node's own RNG over the
+// choice, and eviction all draw from the core's own RNG over the
 // sorted slice instead, making every sampling decision a pure function
-// of the node's seed and learn history.
+// of the core's seed and learn history.
 //
-// All methods assume the caller holds the owning node's mutex.
+// All methods assume the caller serializes access (the core is not
+// goroutine-safe by design; the driver owns the lock).
 type peerSet struct {
-	byID map[ident.ID]entry
+	byID map[ident.ID]Peer
 	ids  []ident.ID // sorted ascending (linear order; used only for storage, never routing)
 }
 
 func newPeerSet() *peerSet {
-	return &peerSet{byID: make(map[ident.ID]entry)}
+	return &peerSet{byID: make(map[ident.ID]Peer)}
 }
 
 func (s *peerSet) len() int { return len(s.ids) }
@@ -33,13 +93,13 @@ func (s *peerSet) contains(id ident.ID) bool {
 	return ok
 }
 
-func (s *peerSet) get(id ident.ID) (entry, bool) {
+func (s *peerSet) get(id ident.ID) (Peer, bool) {
 	e, ok := s.byID[id]
 	return e, ok
 }
 
 // at returns the i-th peer in ascending ID order.
-func (s *peerSet) at(i int) entry { return s.byID[s.ids[i]] }
+func (s *peerSet) at(i int) Peer { return s.byID[s.ids[i]] }
 
 // search returns the position of id in the sorted slice (or where it
 // would be inserted).
@@ -48,7 +108,7 @@ func (s *peerSet) search(id ident.ID) int {
 }
 
 // insert adds a peer or refreshes the address of a known one.
-func (s *peerSet) insert(e entry) {
+func (s *peerSet) insert(e Peer) {
 	if _, ok := s.byID[e.ID]; ok {
 		s.byID[e.ID] = e
 		return
@@ -73,7 +133,7 @@ func (s *peerSet) remove(id ident.ID) {
 // rng over the sorted slice; peers already in out (by ID) and peers
 // rejected by skip are not chosen. With the set no larger than k the
 // whole set is appended in sorted order.
-func (s *peerSet) sampleInto(out []entry, k int, rng *rand.Rand, skip func(ident.ID) bool) []entry {
+func (s *peerSet) sampleInto(out []Peer, k int, rng *rand.Rand, skip func(ident.ID) bool) []Peer {
 	m := len(s.ids)
 	if m == 0 || k <= 0 {
 		return out
@@ -103,10 +163,10 @@ func (s *peerSet) sampleInto(out []entry, k int, rng *rand.Rand, skip func(ident
 // pick returns a random peer accepted by skip, scanning clockwise from
 // a seeded-random start so a contiguous run of skipped IDs cannot
 // starve anyone.
-func (s *peerSet) pick(rng *rand.Rand, skip func(ident.ID) bool) (entry, bool) {
+func (s *peerSet) pick(rng *rand.Rand, skip func(ident.ID) bool) (Peer, bool) {
 	m := len(s.ids)
 	if m == 0 {
-		return entry{}, false
+		return Peer{}, false
 	}
 	start := rng.Intn(m)
 	for i := 0; i < m; i++ {
@@ -116,7 +176,7 @@ func (s *peerSet) pick(rng *rand.Rand, skip func(ident.ID) bool) (entry, bool) {
 		}
 		return s.byID[id], true
 	}
-	return entry{}, false
+	return Peer{}, false
 }
 
 // bestProgress returns the remembered peer closest to dst that makes
@@ -125,13 +185,13 @@ func (s *peerSet) pick(rng *rand.Rand, skip func(ident.ID) bool) (entry, bool) {
 // binary search — the largest ID at or before dst in circular order —
 // followed by at most a short counter-clockwise walk past excluded
 // entries: the same lookup structure vring's pointer cache uses, here
-// over the overlay's known set.
+// over the core's known set.
 //
 //rofllint:hotpath
-func (s *peerSet) bestProgress(cur, dst, exclude ident.ID) (entry, bool) {
+func (s *peerSet) bestProgress(cur, dst, exclude ident.ID) (Peer, bool) {
 	m := len(s.ids)
 	if m == 0 {
-		return entry{}, false
+		return Peer{}, false
 	}
 	// First ID linearly greater than dst; its predecessor (circularly)
 	// is the closest candidate that does not overshoot.
@@ -145,7 +205,7 @@ func (s *peerSet) bestProgress(cur, dst, exclude ident.ID) (entry, bool) {
 		if !ident.Progress(cur, dst, id) {
 			// Walking counter-clockwise only ever shrinks progress; once
 			// it fails, no remembered peer qualifies.
-			return entry{}, false
+			return Peer{}, false
 		}
 		if id != exclude {
 			return s.byID[id], true
@@ -155,5 +215,5 @@ func (s *peerSet) bestProgress(cur, dst, exclude ident.ID) (entry, bool) {
 			idx = m - 1
 		}
 	}
-	return entry{}, false
+	return Peer{}, false
 }

@@ -1,0 +1,193 @@
+package vring
+
+import (
+	"rofl/internal/ident"
+	"rofl/internal/proto"
+	"rofl/internal/sim"
+	"rofl/internal/wire"
+)
+
+// ProtoRing is the simulation driver of the transport-agnostic protocol
+// core: the same proto.Core state machine internal/overlay drives over
+// real sockets, here stepped under the sim engine's virtual clock. Every
+// emitted packet is marshaled to wire bytes and scheduled as a
+// constant-latency event, every maintenance tick is fed in lockstep
+// index order, and every transition's notes land in one shared journal —
+// so a seeded run is a pure function of its schedule, byte-comparable
+// against the same schedule driven through a netem fabric (the
+// cross-driver equivalence test in internal/proto).
+//
+// The driver is single-threaded by construction: cores only transition
+// inside engine events or the caller's own step methods, so no lock
+// guards them.
+type ProtoRing struct {
+	eng     *sim.Engine
+	latency sim.Time
+	journal *proto.Journal
+	slots   []*protoSlot
+	byAddr  map[string]*protoSlot
+	// acts is the one Actions buffer every transition reuses; dispatch
+	// drains it (marshaling sends into independent byte slices) before
+	// the next transition runs.
+	acts proto.Actions
+}
+
+// protoSlot is one node position. The identity and address are permanent
+// across kill/restart cycles; the core is per-incarnation, nil while
+// killed.
+type protoSlot struct {
+	index int
+	id    ident.ID
+	addr  string
+	core  *proto.Core
+}
+
+// NewProtoRing builds an empty driver over eng. Packets arrive latency
+// virtual milliseconds after they are sent; journal (optional) receives
+// every transition's notes.
+func NewProtoRing(eng *sim.Engine, latency sim.Time, journal *proto.Journal) *ProtoRing {
+	if journal == nil {
+		journal = &proto.Journal{}
+	}
+	return &ProtoRing{
+		eng:     eng,
+		latency: latency,
+		journal: journal,
+		byAddr:  make(map[string]*protoSlot),
+	}
+}
+
+// AddNode attaches a node with the given identity at a unique fabric
+// address and returns its slot index. The core's sampling seed derives
+// from the identity, exactly as the overlay driver derives it.
+func (r *ProtoRing) AddNode(id ident.ID, addr string) int {
+	s := &protoSlot{
+		index: len(r.slots),
+		id:    id,
+		addr:  addr,
+		core:  proto.New(proto.Config{ID: id, Addr: addr}),
+	}
+	r.slots = append(r.slots, s)
+	r.byAddr[addr] = s
+	return s.index
+}
+
+// Core exposes slot i's protocol state machine (nil while killed), for
+// assertions.
+func (r *ProtoRing) Core(i int) *proto.Core { return r.slots[i].core }
+
+// Addr returns slot i's permanent fabric address.
+func (r *ProtoRing) Addr(i int) string { return r.slots[i].addr }
+
+// Alive reports whether slot i currently runs a core.
+func (r *ProtoRing) Alive(i int) bool { return r.slots[i].core != nil }
+
+// Journal returns the accumulated event journal.
+func (r *ProtoRing) Journal() string { return r.journal.String() }
+
+// Bootstrap founds the ring at slot i.
+func (r *ProtoRing) Bootstrap(i int) {
+	r.journal.Markf("bootstrap %d", i)
+	r.slots[i].core.Bootstrap()
+}
+
+// Join splices slot i into the ring through slot via and runs the
+// fabric to quiescence. With a lossless virtual fabric the first
+// request round-trip completes the join, so no retry machinery runs.
+func (r *ProtoRing) Join(i, via int) {
+	s := r.slots[i]
+	r.journal.Markf("join %d via %d", i, via)
+	s.core.StartJoin(s.core.NextReqID(), r.slots[via].addr, &r.acts)
+	r.dispatch(s)
+	r.eng.Run()
+}
+
+// Kill crashes slot i: the core vanishes and packets in flight toward
+// it are dropped on arrival, exactly like datagrams to a closed socket.
+func (r *ProtoRing) Kill(i int) {
+	r.journal.Markf("kill %d", i)
+	r.slots[i].core = nil
+}
+
+// Restart brings slot i back — same identity, same address, a fresh
+// core with the same derived seed — and rejoins it through slot via.
+func (r *ProtoRing) Restart(i, via int) {
+	s := r.slots[i]
+	r.journal.Markf("restart %d", i)
+	s.core = proto.New(proto.Config{ID: s.id, Addr: s.addr})
+	r.Join(i, via)
+}
+
+// TickStabilize feeds one stabilization tick to every live slot in
+// index order, then runs the fabric to quiescence — one lockstep
+// maintenance round.
+func (r *ProtoRing) TickStabilize() {
+	for _, s := range r.slots {
+		if s.core == nil {
+			continue
+		}
+		r.journal.Markf("tick %d", s.index)
+		s.core.TickStabilize(&r.acts)
+		r.dispatch(s)
+	}
+	r.eng.Run()
+}
+
+// TickLiveness feeds one BFD liveness tick to every live slot in index
+// order, then runs the fabric to quiescence.
+func (r *ProtoRing) TickLiveness() {
+	for _, s := range r.slots {
+		if s.core == nil {
+			continue
+		}
+		r.journal.Markf("bfd %d", s.index)
+		s.core.TickLiveness(&r.acts)
+		r.dispatch(s)
+	}
+	r.eng.Run()
+}
+
+// Send originates a data payload from slot i toward dst and runs the
+// fabric to quiescence.
+func (r *ProtoRing) Send(i int, dst ident.ID, payload []byte) {
+	s := r.slots[i]
+	r.journal.Markf("send %d", s.index)
+	s.core.Originate(dst, payload, nil, &r.acts)
+	r.dispatch(s)
+	r.eng.Run()
+}
+
+// dispatch records one transition's notes and schedules its sends: each
+// packet is marshaled now (the bytes in flight are independent of the
+// sender's state, as on a real wire) and delivered after the constant
+// fabric latency. The shared Actions buffer is drained for the next
+// transition.
+func (r *ProtoRing) dispatch(s *protoSlot) {
+	r.journal.Record(&r.acts)
+	for i := range r.acts.Sends {
+		snd := r.acts.Sends[i]
+		buf, err := snd.Pkt.Marshal()
+		if err != nil {
+			continue // malformed packets vanish, as a socket would reject them
+		}
+		to, from := snd.Addr, s.addr
+		r.eng.Schedule(r.latency, func() { r.deliver(to, from, buf) })
+	}
+	r.acts.Reset()
+}
+
+// deliver decodes one arriving datagram into the destination core; the
+// cascade of actions it triggers dispatches recursively through the
+// engine.
+func (r *ProtoRing) deliver(to, from string, buf []byte) {
+	dst, ok := r.byAddr[to]
+	if !ok || dst.core == nil {
+		return // crashed or unknown destination: dropped like UDP
+	}
+	var pkt wire.Packet
+	if err := pkt.DecodeFromBytes(buf); err != nil {
+		return
+	}
+	dst.core.HandlePacket(&pkt, from, &r.acts)
+	r.dispatch(dst)
+}

@@ -2,6 +2,7 @@ package rofl
 
 import (
 	"io"
+	"time"
 
 	"rofl/internal/canon"
 	"rofl/internal/cluster"
@@ -142,9 +143,12 @@ type RouteResult = vring.RouteResult
 // VirtualNode is the routing state for one resident identifier.
 type VirtualNode = vring.VirtualNode
 
-// DefaultNetworkOptions mirrors the paper's simulation defaults
-// (successor groups of 3, 70k-entry pointer caches filled from control
-// traffic).
+// DefaultNetworkOptions mirrors the paper's simulation defaults:
+// successor groups of 3, 70k-entry pointer caches (≈9 Mbit of 128-bit
+// IDs, §6.2) filled from control traffic only (no data snooping),
+// TTL 1024, seed 1. Every Default* constructor in this package follows
+// the same convention: the returned struct is the reference
+// configuration, and any field may be overridden before use.
 func DefaultNetworkOptions() NetworkOptions { return vring.DefaultOptions() }
 
 // NewNetwork builds an intradomain ROFL network over a router graph.
@@ -175,7 +179,10 @@ const (
 	Peering     = canon.Peering
 )
 
-// DefaultInternetOptions mirrors the paper's baseline configuration.
+// DefaultInternetOptions mirrors the paper's baseline configuration:
+// no finger budget, no pointer caches, Bloom peering off (1% target
+// false-positive rate when enabled), seed 1 — the floor the Fig 8
+// ablations improve on.
 func DefaultInternetOptions() InternetOptions { return canon.DefaultOptions() }
 
 // Negotiation is an endpoint path-negotiation outcome (paper §5.1): the
@@ -208,7 +215,9 @@ type GlobalOptions = composite.Options
 // GlobalRouteResult reports a composed route's per-layer breakdown.
 type GlobalRouteResult = composite.RouteResult
 
-// DefaultGlobalOptions returns a laptop-scale two-level configuration.
+// DefaultGlobalOptions returns a laptop-scale two-level configuration:
+// the intradomain and interdomain defaults above, 2 border routers per
+// AS, a 24-router ISP template per domain, seed 1.
 func DefaultGlobalOptions() GlobalOptions { return composite.DefaultOptions() }
 
 // NewGlobal assembles the two-level system over an AS graph.
@@ -272,13 +281,47 @@ func UnmarshalCapability(b []byte) (Capability, error) {
 // ---------------------------------------------------------------------------
 
 // OverlayNode is a ROFL node speaking the wire format over a datagram
-// transport (real UDP by default).
+// transport (real UDP by default). All protocol logic — ring
+// maintenance, greedy forwarding, eviction, quarantine, gossip,
+// liveness — lives in the transport-agnostic core of internal/proto;
+// the node is the live driver around one core.
 type OverlayNode = overlay.Node
 
-// NewOverlayNode binds a node to a UDP address ("127.0.0.1:0" picks a
-// free port).
-func NewOverlayNode(id ID, bind string) (*OverlayNode, error) {
-	return overlay.NewNode(id, bind)
+// NodeConfig configures an overlay node. Like the other option structs
+// (NetworkOptions, InternetOptions, GlobalOptions), the zero value is
+// usable: it binds a UDP socket on a random loopback port
+// ("127.0.0.1:0"), retries control requests with DefaultRetryPolicy
+// (120ms first retry, doubling to a 2s cap), installs no admission
+// gate, buffers 64 deliveries, wires no telemetry, and starts neither
+// maintenance loop. Set Stabilize and EnableLiveness (or start from
+// DefaultNodeConfig) to keep a long-lived ring healthy.
+type NodeConfig = overlay.Config
+
+// RetryPolicy shapes the retransmission schedule of overlay control
+// requests: first retransmit after Initial, each wait multiplied by
+// Multiplier and capped at Max, until the caller's deadline expires.
+type RetryPolicy = overlay.RetryPolicy
+
+// DefaultRetryPolicy is tuned for LAN/loopback latencies: 120ms first
+// retry, doubling to a 2s cap.
+func DefaultRetryPolicy() RetryPolicy { return overlay.DefaultRetryPolicy() }
+
+// DefaultNodeConfig returns the production overlay defaults: a UDP
+// socket on a random loopback port, a 250ms stabilization loop, and
+// the BFD-style liveness detector with DefaultLivenessParams. The zero
+// NodeConfig differs only in leaving both maintenance loops off.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		Stabilize:      250 * time.Millisecond,
+		EnableLiveness: true,
+	}
+}
+
+// NewOverlayNode builds a node from cfg and starts its receive loop,
+// plus the stabilize and liveness loops when cfg asks for them. The
+// node is ready to Bootstrap a new ring or Join an existing one.
+func NewOverlayNode(id ID, cfg NodeConfig) (*OverlayNode, error) {
+	return overlay.New(id, cfg)
 }
 
 // OverlayTransport is the datagram surface overlay nodes speak through:
@@ -287,6 +330,8 @@ type OverlayTransport = netem.Transport
 
 // NewOverlayNodeTransport binds a node to an existing transport; the
 // node owns it and closes it on Close.
+//
+// Deprecated: use NewOverlayNode with NodeConfig{Transport: tr}.
 func NewOverlayNodeTransport(id ID, tr OverlayTransport) *OverlayNode {
 	return overlay.NewNodeTransport(id, tr)
 }

@@ -132,13 +132,14 @@ func TestPublicAnycastMulticast(t *testing.T) {
 }
 
 func TestPublicOverlay(t *testing.T) {
-	a, err := rofl.NewOverlayNode(rofl.IDFromString("a"), "127.0.0.1:0")
+	// The zero NodeConfig binds a random loopback port.
+	a, err := rofl.NewOverlayNode(rofl.IDFromString("a"), rofl.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
 	a.Bootstrap()
-	b, err := rofl.NewOverlayNode(rofl.IDFromString("b"), "127.0.0.1:0")
+	b, err := rofl.NewOverlayNode(rofl.IDFromString("b"), rofl.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,18 @@ func TestCapabilityOverUDPOverlay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recv, err := rofl.NewOverlayNode(receiverIdentity.ID(), "127.0.0.1:0")
+	// Default-off: only packets with a valid, unexpired capability pass.
+	// The gate is part of the node's construction-time configuration.
+	const now = 100
+	recv, err := rofl.NewOverlayNode(receiverIdentity.ID(), rofl.NodeConfig{
+		Gate: func(src rofl.ID, capBytes []byte) error {
+			cap, err := rofl.UnmarshalCapability(capBytes)
+			if err != nil {
+				return err
+			}
+			return cap.Verify(src, receiverIdentity.ID(), now)
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +212,7 @@ func TestCapabilityOverUDPOverlay(t *testing.T) {
 	recv.Bootstrap()
 
 	senderID := rofl.IDFromString("sender")
-	send, err := rofl.NewOverlayNode(senderID, "127.0.0.1:0")
+	send, err := rofl.NewOverlayNode(senderID, rofl.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,16 +220,6 @@ func TestCapabilityOverUDPOverlay(t *testing.T) {
 	if err := send.Join(recv.Addr(), 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
-
-	// Default-off: only packets with a valid, unexpired capability pass.
-	const now = 100
-	recv.SetGate(func(src rofl.ID, capBytes []byte) error {
-		cap, err := rofl.UnmarshalCapability(capBytes)
-		if err != nil {
-			return err
-		}
-		return cap.Verify(src, receiverIdentity.ID(), now)
-	})
 
 	// No capability: dropped.
 	if err := send.Send(receiverIdentity.ID(), []byte("nope")); err != nil {
