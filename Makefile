@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos fuzz bench bench-compare cluster-smoke
+.PHONY: all build test race lint chaos fuzz bench bench-compare cluster-smoke scale-smoke
 
 all: build test lint
 
@@ -46,12 +46,19 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeRoundTrip -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzHandleRequest -fuzztime=10s ./internal/overlay
 
+# Sharded single-network smoke: converge a 100k-host compact ring
+# sharded 8 ways and probe it, under a hard timeout. The full
+# million-host sweep is `go run ./cmd/roflsim -fig scaling`
+# (SCALING.md documents the published curves).
+scale-smoke:
+	timeout 300 $(GO) run ./cmd/roflsim -fig scaling -scalehosts 100000 -shards 8 -pairs 500
+
 # Benchmark trajectory (cmd/roflbench). `make bench` records the
 # hot-path suite into BENCH_ci.json; `make bench-compare` then diffs it
 # against the committed baseline and fails on >15% ns/op regressions.
 # Override BENCH_LABEL / BENCH_BASELINE to record against another point.
 BENCH_LABEL ?= ci
-BENCH_BASELINE ?= BENCH_pr9.json
+BENCH_BASELINE ?= BENCH_pr10.json
 
 bench:
 	$(GO) run ./cmd/roflbench run -label $(BENCH_LABEL) -benchtime 500ms -o BENCH_$(BENCH_LABEL).json

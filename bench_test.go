@@ -117,6 +117,26 @@ func BenchmarkMsgSizes(b *testing.B) { runFigure(b, "msgsizes") }
 // BenchmarkComposite runs the two-level system end to end.
 func BenchmarkComposite(b *testing.B) { runFigure(b, "composite") }
 
+// BenchmarkScaling runs the compact sharded-ring scaling sweep at bench
+// scale (the full million-host sweep lives behind `roflsim -fig
+// scaling`; SCALING.md publishes those curves).
+func BenchmarkScaling(b *testing.B) {
+	r, ok := rofl.ExperimentByID("scaling")
+	if !ok {
+		b.Fatal("scaling experiment not registered")
+	}
+	cfg := benchConfig()
+	cfg.ScaleSweep = []int{2000, 10000}
+	cfg.Shards = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := r.Run(cfg)
+		if len(tab.Rows) != 2 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
 // --- Protocol micro-benchmarks --------------------------------------------
 
 // BenchmarkIntraJoin measures one intradomain host join on the paper's

@@ -12,12 +12,22 @@
 // the chosen preset. -workers 1 reproduces the serial run exactly; any
 // worker count produces identical tables (trials derive their seeds
 // from the trial index, not from execution order).
+//
+// The scaling experiment has two extra knobs: -scalehosts sets the
+// host-count sweep (comma-separated), and -shards sets how many shards
+// the single-network sharded simulation uses. Like -workers, -shards
+// only changes wall-clock time — sharded runs are byte-identical at any
+// shard count:
+//
+//	roflsim -fig scaling -scalehosts 100000 -shards 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"rofl"
@@ -35,6 +45,8 @@ func main() {
 		interhosts = flag.Int("interhosts", 0, "override interdomain hosts")
 		seed       = flag.Int64("seed", 0, "override RNG seed")
 		workers    = flag.Int("workers", 0, "trial workers per experiment (0 = NumCPU, 1 = serial)")
+		scalehosts = flag.String("scalehosts", "", "comma-separated host counts for the scaling experiment (e.g. 10000,100000,1000000)")
+		shards     = flag.Int("shards", 0, "shard count for the scaling experiment's single-network runs (0 = default 4; results identical at any value)")
 	)
 	flag.Parse()
 
@@ -63,6 +75,21 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *scalehosts != "" {
+		var sweep []int
+		for _, f := range strings.Split(*scalehosts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "roflsim: bad -scalehosts entry %q\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, n)
+		}
+		cfg.ScaleSweep = sweep
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
 	}
 
 	var runners []rofl.Experiment

@@ -41,6 +41,15 @@ type Config struct {
 	// for bit. Results are identical at any value — only wall-clock time
 	// changes.
 	Workers int
+	// ScaleSweep is the host-count sweep of the scaling experiment;
+	// empty means {10k, 100k, 1M}.
+	ScaleSweep []int
+	// Shards is the shard count of the scaling experiment's sharded
+	// single-network runs. 0 means 4. Like Workers, it changes only
+	// wall-clock time: sharded runs are byte-identical at any value, and
+	// it is deliberately never derived from the core count so tables
+	// stay machine-independent.
+	Shards int
 }
 
 // WorkerCount resolves the Workers knob: 0 defaults to runtime.NumCPU().
@@ -61,12 +70,18 @@ func forTrials(cfg Config, n int, fn func(trial int)) {
 
 // DefaultConfig sizes the full evaluation (~minutes).
 func DefaultConfig() Config {
-	return Config{HostsPerISP: 1200, Pairs: 1500, InterHosts: 2500, Seed: 2006}
+	return Config{
+		HostsPerISP: 1200, Pairs: 1500, InterHosts: 2500, Seed: 2006,
+		ScaleSweep: []int{10000, 100000, 1000000},
+	}
 }
 
 // QuickConfig sizes a smoke-test run (~seconds).
 func QuickConfig() Config {
-	return Config{HostsPerISP: 150, Pairs: 200, InterHosts: 300, Seed: 2006}
+	return Config{
+		HostsPerISP: 150, Pairs: 200, InterHosts: 300, Seed: 2006,
+		ScaleSweep: []int{1000, 5000},
+	}
 }
 
 // Table is one reproduced figure or table: a title, column headers, and
@@ -179,6 +194,7 @@ func All() []Runner {
 		{"msgsizes", "Join-message sizes vs finger count (§6.3)", MsgSizes},
 		{"composite", "Two-level system end to end (Alg. 1 + §4)", Composite},
 		{"ablation", "Design-choice ablations (successor groups, caching, fingers)", Ablations},
+		{"scaling", "Routing state, stretch, and cache hits vs N (compact sharded ring)", Scaling},
 	}
 }
 

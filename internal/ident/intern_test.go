@@ -1,0 +1,72 @@
+package ident
+
+import "testing"
+
+func TestInternAssignsDenseHandles(t *testing.T) {
+	in := NewIntern()
+	ids := []ID{FromString("a"), FromString("b"), FromString("c")}
+	for i, id := range ids {
+		h := in.Handle(id)
+		if h != Handle(i) {
+			t.Fatalf("Handle(%s) = %d, want dense %d", id.Short(), h, i)
+		}
+	}
+	if in.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", in.Len(), len(ids))
+	}
+	// Re-interning returns the same handle, never a new one.
+	for i, id := range ids {
+		if h := in.Handle(id); h != Handle(i) {
+			t.Fatalf("re-intern of %s = %d, want %d", id.Short(), h, i)
+		}
+	}
+	if in.Len() != len(ids) {
+		t.Fatalf("Len grew to %d on re-intern", in.Len())
+	}
+}
+
+func TestInternRoundTrip(t *testing.T) {
+	in := NewInternSize(64)
+	for i := 0; i < 64; i++ {
+		id := FromUint64(uint64(i) * 0x9e3779b97f4a7c15)
+		h := in.Handle(id)
+		if got := in.ID(h); got != id {
+			t.Fatalf("ID(Handle(%s)) = %s", id.Short(), got.Short())
+		}
+		if lh, ok := in.Lookup(id); !ok || lh != h {
+			t.Fatalf("Lookup(%s) = %d,%v want %d,true", id.Short(), lh, ok, h)
+		}
+	}
+	if _, ok := in.Lookup(FromString("never-interned")); ok {
+		t.Fatal("Lookup of un-interned ID reported ok")
+	}
+}
+
+func TestInternIDPanicsOutOfRange(t *testing.T) {
+	in := NewIntern()
+	in.Handle(FromString("only"))
+	for _, h := range []Handle{1, NoHandle} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ID(%d) did not panic", h)
+				}
+			}()
+			in.ID(h)
+		}()
+	}
+}
+
+func TestInternBytesScalesWithEntries(t *testing.T) {
+	small := NewInternSize(8)
+	big := NewInternSize(8)
+	for i := 0; i < 2; i++ {
+		small.Handle(FromUint64(uint64(i)))
+	}
+	for i := 0; i < 8; i++ {
+		big.Handle(FromUint64(uint64(i)))
+	}
+	if small.Bytes() <= 0 || big.Bytes() <= small.Bytes() {
+		t.Fatalf("Bytes: small=%d big=%d; want positive and growing", small.Bytes(), big.Bytes())
+	}
+}

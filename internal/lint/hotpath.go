@@ -49,7 +49,13 @@ var requiredHotRoots = map[string][]string{
 	"rofl/internal/overlay": {"(*Node).readLoop", "(*Node).handle"},
 	"rofl/internal/proto":   {"(*Core).HandlePacket", "(*peerSet).bestProgress"},
 	"rofl/internal/wire":    {"(*Packet).Marshal", "(*Packet).DecodeFromBytes"},
-	"rofl/internal/vring":   {"(*PointerCache).Lookup"},
+	"rofl/internal/vring":   {"(*PointerCache).Lookup", "(*CompactRing).HandleMsg"},
+	"rofl/internal/sim": {
+		"(*ShardContext).Send",
+		"(*ShardedEngine).ownerOf",
+		"(*msgHeap).push", "(*msgHeap).pop",
+		"SplitMix64",
+	},
 	"rofl/internal/telemetry": {
 		"(*Counter).Inc", "(*Counter).Add",
 		"(*Gauge).Set", "(*Gauge).Add",

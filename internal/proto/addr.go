@@ -1,0 +1,40 @@
+package proto
+
+import (
+	"strconv"
+	"strings"
+
+	"rofl/internal/ident"
+)
+
+// Handle-derived fabric addresses. Drivers that intern their node
+// population (the sharded simulation, vring.ProtoRing) do not have
+// transport-assigned addresses the way sockets do; they derive each
+// node's address from its dense intern handle instead. The protocol
+// core treats addresses as opaque strings either way — journals are
+// built only from protocol fields, never from transport addresses, so a
+// schedule driven over handle addresses is byte-comparable against the
+// same schedule driven over socket addresses (the cross-driver
+// equivalence gate).
+
+const handleAddrPrefix = "h:"
+
+// HandleAddr renders an interned handle as a fabric address.
+func HandleAddr(h ident.Handle) string {
+	return handleAddrPrefix + strconv.FormatUint(uint64(h), 10)
+}
+
+// ParseHandleAddr inverts HandleAddr. It reports false for addresses
+// minted by any other scheme (socket addresses, test fixtures), for the
+// NoHandle sentinel, and for out-of-range values.
+func ParseHandleAddr(addr string) (ident.Handle, bool) {
+	s, ok := strings.CutPrefix(addr, handleAddrPrefix)
+	if !ok {
+		return ident.NoHandle, false
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil || ident.Handle(v) == ident.NoHandle {
+		return ident.NoHandle, false
+	}
+	return ident.Handle(v), true
+}

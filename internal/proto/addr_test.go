@@ -1,0 +1,29 @@
+package proto
+
+import (
+	"testing"
+
+	"rofl/internal/ident"
+)
+
+func TestHandleAddrRoundTrip(t *testing.T) {
+	for _, h := range []ident.Handle{0, 1, 7, 1 << 20, ^ident.Handle(0) - 1} {
+		addr := HandleAddr(h)
+		got, ok := ParseHandleAddr(addr)
+		if !ok || got != h {
+			t.Fatalf("ParseHandleAddr(%q) = %d,%v want %d,true", addr, got, ok, h)
+		}
+	}
+}
+
+func TestParseHandleAddrRejectsForeignSchemes(t *testing.T) {
+	for _, addr := range []string{
+		"", "n003", "127.0.0.1:9000", "h:", "h:x", "h:-1",
+		"h:4294967295", // the NoHandle sentinel is never a valid address
+		"h:99999999999",
+	} {
+		if h, ok := ParseHandleAddr(addr); ok {
+			t.Errorf("ParseHandleAddr(%q) accepted as %d", addr, h)
+		}
+	}
+}

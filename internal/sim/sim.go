@@ -8,6 +8,16 @@
 // path of parallel control messages over weighted links (§6.2, Fig 5c).
 // Engine exposes exactly those quantities, so every experiment driver is
 // a pure function of (topology, workload, seed).
+//
+// Two parallel execution modes keep that purity:
+//
+//   - ForEach + Metrics.Merge run independent trials (one Engine per
+//     seed) across a worker pool; tables are byte-identical at any
+//     worker count because trial seeds derive from the trial index.
+//   - ShardedEngine (shard.go) parallelizes a single network: nodes are
+//     sharded across workers that exchange messages at virtual-clock
+//     barriers every Lookahead window, and runs are byte-identical at
+//     any shard count. See ExampleShardedEngine and SCALING.md.
 package sim
 
 import (

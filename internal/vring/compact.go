@@ -1,0 +1,903 @@
+package vring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"rofl/internal/ident"
+	"rofl/internal/linkstate"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+// This file is the million-host variant of the intradomain ring: the
+// same protocol shape as Network (successor groups, predecessor
+// pointers, parked ephemerals, per-router pointer caches, greedy
+// forwarding) restructured so one machine can hold and converge a ring
+// of 1M+ resident identifiers.
+//
+// Three changes carry the scale:
+//
+//  1. Interning. Node IDs live once in an ident.Intern table; every
+//     piece of per-node routing state (successor slab, predecessor,
+//     cache entries, parked children) stores 4-byte dense handles
+//     instead of 16-byte labels, and all per-node state is
+//     struct-of-arrays indexed by handle — no per-node heap objects.
+//  2. Slab allocation. Events are value Msgs in the sharded engine's
+//     reused heaps; parked ephemeral state and its packed source
+//     routes are append-only slabs; caches are bucketed slot arrays.
+//     Steady-state simulation performs no allocation on the event path
+//     (guarded by the hotpath analyzer via (*CompactRing).HandleMsg).
+//  3. Sharding. Convergence runs on sim.ShardedEngine with nodes
+//     grouped by hosting router (affinity = router index), so each
+//     router's pointer cache is owned by exactly one shard and the run
+//     is byte-identical at any shard count (see the shard-invariance
+//     test, the PR-10 analogue of the cross-driver journal gate).
+
+// Metrics names charged by the compact ring. Control messages are
+// charged by physical hops traversed, matching the §6.1 methodology.
+const (
+	MsgCompactControl = "cring-control"
+	// CtrCompactCacheHit / Miss count pointer-cache consultations
+	// during measurement probes.
+	CtrCompactCacheHit  = "cring-cache-hit"
+	CtrCompactCacheMiss = "cring-cache-miss"
+)
+
+// Sample names recorded by the compact ring's measurement probes.
+const (
+	SampleCompactStretch  = "cring-stretch"
+	SampleCompactJoinMsgs = "cring-join-msgs"
+)
+
+// Protocol message kinds on the sharded engine.
+const (
+	cmTimer    uint16 = iota // self: run one stabilize round
+	cmGetSucc                // ask the receiver for its successor list
+	cmSuccList               // reply: Args carries up to 4 successor handles
+)
+
+// Journal kinds recorded during convergence (sharded-run invariance is
+// proven over these).
+const (
+	CJPredAdopt uint16 = iota // Node adopted A as predecessor
+	CJSuccAdopt               // Node's successor group changed after merging from A
+	CJStable                  // Node reached a stable successor group of size A
+)
+
+// MaxCompactSuccessors is the successor-group ceiling: a group must fit
+// one sim.Msg advertisement (len(Msg.Args)).
+const MaxCompactSuccessors = 4
+
+// CompactConfig sizes one compact-ring simulation.
+type CompactConfig struct {
+	// Hosts is the number of stable ring members.
+	Hosts int
+	// EphemeralEvery attaches one ephemeral host (parked at its ring
+	// predecessor with a packed source route, §2.2) per this many
+	// stable hosts; 0 disables ephemerals.
+	EphemeralEvery int
+	// SuccessorGroup is the per-node successor count (1..4).
+	SuccessorGroup int
+	// CacheCapacity bounds each router's pointer cache, in entries.
+	CacheCapacity int
+	// StabilizeEvery is the virtual time between a node's stabilize
+	// rounds.
+	StabilizeEvery sim.Time
+	// Lookahead is the sharded engine's minimum inter-node delay and
+	// barrier window; physical latencies below it are clamped up.
+	Lookahead sim.Time
+	// Shards is the shard count (1 reproduces the serial run; results
+	// are byte-identical at any value).
+	Shards int
+	// Seed feeds ID generation, placement, and per-node jitter.
+	Seed int64
+	// Journal records convergence transitions (tests only: a 1M-host
+	// run would journal tens of millions of entries).
+	Journal bool
+	// TTL bounds measurement-probe forwarding steps.
+	TTL int
+}
+
+// DefaultCompactConfig mirrors the Network defaults at compact scale.
+func DefaultCompactConfig() CompactConfig {
+	return CompactConfig{
+		Hosts:          10000,
+		EphemeralEvery: 0,
+		SuccessorGroup: 3,
+		CacheCapacity:  8192,
+		StabilizeEvery: 10,
+		Lookahead:      1,
+		Shards:         1,
+		Seed:           1,
+		TTL:            4096,
+	}
+}
+
+// cacheSlot is one pointer-cache entry: an interned member handle plus
+// an LRU stamp. 8 bytes, versus the 24-byte ID+router entry of
+// PointerCache.
+type cacheSlot struct {
+	h     ident.Handle
+	stamp uint32
+}
+
+// compactCache is a bucketed approximate-LRU pointer cache over
+// interned handles. Entries hash into buckets by ID prefix (IDs are
+// uniform, so buckets stay balanced); each bucket is a small ID-sorted
+// slab, giving O(log bucket) lookup and O(bucket) insert instead of the
+// O(capacity) memmove a single sorted slice would cost at 10^4–10^5
+// entries. Eviction is LRU *within the insertion bucket* — a documented
+// approximation of global LRU that keeps every operation bucket-local
+// and deterministic.
+type compactCache struct {
+	buckets   [][]cacheSlot
+	bucketCap int
+	shift     uint // bucket = uint32(id[0:4]) >> shift
+	clock     uint32
+	size      int
+}
+
+const cacheBucketTarget = 16
+
+func newCompactCache(capacity int) compactCache {
+	if capacity <= 0 {
+		return compactCache{}
+	}
+	nb := 1
+	for nb*cacheBucketTarget < capacity {
+		nb <<= 1
+	}
+	shift := uint(32)
+	for b := nb; b > 1; b >>= 1 {
+		shift--
+	}
+	bc := capacity / nb
+	if bc < 4 {
+		bc = 4
+	}
+	return compactCache{
+		buckets:   make([][]cacheSlot, nb),
+		bucketCap: bc,
+		shift:     shift,
+	}
+}
+
+// CompactRing is the struct-of-arrays ring. Build with NewCompactRing,
+// converge with Run, then measure with Probe/ProbeJoin/Footprint.
+type CompactRing struct {
+	cfg     CompactConfig
+	intern  *ident.Intern
+	ids     []ident.ID // ids[h]; alias of the intern slab order
+	members int        // handles [0, members) are ring members; the rest are ephemerals
+
+	// Per-node protocol state, all handle-indexed slabs.
+	router []uint32       // hosting router
+	succs  []ident.Handle // stride cfg.SuccessorGroup, clockwise-nearest first
+	nsucc  []uint8
+	pred   []ident.Handle
+	rngs   []uint64 // splitmix64 per-node jitter state
+	stable []uint8  // consecutive no-change stabilize rounds
+
+	// Parked ephemerals: per-member singly linked list in slabs, each
+	// entry holding the child handle and a packed source route (router
+	// indices) into routeSlab.
+	parkedHead  []int32 // per member; -1 = none
+	parkedNext  []int32
+	parkedChild []ident.Handle
+	routeOff    []uint32
+	routeLen    []uint16
+	routeLat    []float32
+	routeSlab   []uint16
+
+	// Physical substrate: dense all-pairs latency/hop matrices over the
+	// ISP's routers (precomputed once; probes and control charging are
+	// then pure array reads), plus the link-state view for router paths.
+	nrouters int
+	latM     []float32
+	hopM     []uint16
+	ls       *linkstate.Map
+
+	caches []compactCache // per router
+
+	eng     *sim.ShardedEngine
+	msgs    sim.Metrics // merged engine metrics after Run
+	probeMx sim.Metrics // measurement-phase sink (serial)
+	ran     bool
+}
+
+// NewCompactRing builds a primed, unconverged ring of cfg.Hosts member
+// identifiers (plus ephemerals) hosted uniformly across the ISP's
+// access routers. Each member starts knowing only its immediate
+// clockwise successor — the state a completed Algorithm-1 join leaves
+// behind — and must discover its full successor group and predecessor
+// by running stabilization to convergence (Run).
+func NewCompactRing(isp *topology.ISP, cfg CompactConfig) *CompactRing {
+	if cfg.Hosts < 1 {
+		cfg.Hosts = 1
+	}
+	if cfg.SuccessorGroup < 1 {
+		cfg.SuccessorGroup = 1
+	}
+	if cfg.SuccessorGroup > MaxCompactSuccessors {
+		cfg.SuccessorGroup = MaxCompactSuccessors
+	}
+	if cfg.StabilizeEvery <= 0 {
+		cfg.StabilizeEvery = 10
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 1
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 4096
+	}
+
+	m := cfg.Hosts
+	e := 0
+	if cfg.EphemeralEvery > 0 {
+		e = m / cfg.EphemeralEvery
+	}
+	n := m + e
+	r := &CompactRing{
+		cfg:     cfg,
+		intern:  ident.NewInternSize(n),
+		members: m,
+		probeMx: sim.NewMetrics(),
+	}
+
+	// Mint and intern identities: members first (handles [0, m)), then
+	// ephemerals. Handles are dense, so they index every slab below.
+	var seedBuf [16]byte
+	binary.BigEndian.PutUint64(seedBuf[:8], uint64(cfg.Seed))
+	for i := 0; i < m; i++ {
+		binary.BigEndian.PutUint64(seedBuf[8:], uint64(i))
+		r.intern.Handle(ident.FromBytes(seedBuf[:]))
+	}
+	for i := 0; i < e; i++ {
+		binary.BigEndian.PutUint64(seedBuf[8:], uint64(m+i))
+		seedBuf[0] ^= 0xa5 // distinct stream for ephemerals
+		r.intern.Handle(ident.FromBytes(seedBuf[:]))
+		seedBuf[0] ^= 0xa5
+	}
+	r.ids = make([]ident.ID, n)
+	for h := 0; h < n; h++ {
+		r.ids[h] = r.intern.ID(ident.Handle(h))
+	}
+
+	// Placement: uniform over access routers, from a seeded stream.
+	g := isp.Graph
+	r.nrouters = g.NumNodes()
+	r.router = make([]uint32, n)
+	place := uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15
+	for h := 0; h < n; h++ {
+		r.router[h] = uint32(isp.Access[sim.SplitMix64(&place)%uint64(len(isp.Access))])
+	}
+
+	// All-pairs physical metric over the router graph: one cached-SPT
+	// sweep per source, then dense float32/uint16 matrices.
+	ls := linkstate.New(g, sim.NewMetrics())
+	r.ls = ls
+	r.latM = make([]float32, r.nrouters*r.nrouters)
+	r.hopM = make([]uint16, r.nrouters*r.nrouters)
+	for a := 0; a < r.nrouters; a++ {
+		for b := 0; b < r.nrouters; b++ {
+			r.latM[a*r.nrouters+b] = float32(ls.Latency(topology.NodeID(a), topology.NodeID(b)))
+			r.hopM[a*r.nrouters+b] = uint16(ls.Hops(topology.NodeID(a), topology.NodeID(b)))
+		}
+	}
+
+	// Ring wiring: sort member handles by ID; each starts with only its
+	// immediate successor (nsucc = 1) and no predecessor.
+	s := cfg.SuccessorGroup
+	r.succs = make([]ident.Handle, m*s)
+	for i := range r.succs {
+		r.succs[i] = ident.NoHandle
+	}
+	r.nsucc = make([]uint8, m)
+	r.pred = make([]ident.Handle, m)
+	for i := range r.pred {
+		r.pred[i] = ident.NoHandle
+	}
+	sorted := make([]ident.Handle, m)
+	for i := range sorted {
+		sorted[i] = ident.Handle(i)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return r.ids[sorted[i]].Less(r.ids[sorted[j]]) })
+	if m > 1 {
+		for i, h := range sorted {
+			r.succs[int(h)*s] = sorted[(i+1)%m]
+			r.nsucc[h] = 1
+		}
+	}
+
+	// Parked ephemerals: each ephemeral's ring predecessor parks the
+	// child handle plus a packed source route (the router path from the
+	// predecessor's router to the child's), exactly the state §2.2
+	// leaves at the predecessor after an ephemeral join.
+	r.parkedHead = make([]int32, m)
+	for i := range r.parkedHead {
+		r.parkedHead[i] = -1
+	}
+	if e > 0 {
+		for i := 0; i < e; i++ {
+			child := ident.Handle(m + i)
+			cid := r.ids[child]
+			rank := sort.Search(m, func(k int) bool { return cid.Less(r.ids[sorted[k]]) })
+			p := sorted[(rank-1+m)%m]
+			path := ls.Path(topology.NodeID(r.router[p]), topology.NodeID(r.router[child]))
+			off := uint32(len(r.routeSlab))
+			for _, node := range path {
+				r.routeSlab = append(r.routeSlab, uint16(node))
+			}
+			idx := int32(len(r.parkedChild))
+			r.parkedChild = append(r.parkedChild, child)
+			r.routeOff = append(r.routeOff, off)
+			r.routeLen = append(r.routeLen, uint16(len(path)))
+			r.routeLat = append(r.routeLat, r.latM[int(r.router[p])*r.nrouters+int(r.router[child])])
+			r.parkedNext = append(r.parkedNext, r.parkedHead[p])
+			r.parkedHead[p] = idx
+		}
+	}
+
+	// Per-router caches and per-node jitter streams.
+	r.caches = make([]compactCache, r.nrouters)
+	for i := range r.caches {
+		r.caches[i] = newCompactCache(cfg.CacheCapacity)
+	}
+	r.rngs = make([]uint64, n)
+	for h := 0; h < n; h++ {
+		r.rngs[h] = uint64(cfg.Seed)<<32 ^ uint64(h) ^ 0xdeadbeefcafef00d
+	}
+	r.stable = make([]uint8, m)
+
+	// Sharded engine: nodes grouped by hosting router so each router's
+	// cache is shard-private; prime one jittered stabilize timer per
+	// member.
+	r.eng = sim.NewSharded(n, cfg.Shards, cfg.Lookahead, r.router, r)
+	if cfg.Journal {
+		r.eng.EnableJournal()
+	}
+	if m > 1 {
+		for h := 0; h < m; h++ {
+			jitter := sim.Time(sim.SplitMix64(&r.rngs[h])%1024) / 1024 * cfg.StabilizeEvery
+			r.eng.Prime(jitter, sim.Msg{Src: uint32(h), Dst: uint32(h), Kind: cmTimer})
+		}
+	}
+	return r
+}
+
+// Run drives stabilization to convergence (queue drain: every member
+// has seen two consecutive no-change rounds) and returns the virtual
+// time taken.
+func (r *CompactRing) Run() sim.Time {
+	t := r.eng.Run()
+	r.msgs = r.eng.MergedMetrics()
+	r.warmCaches()
+	r.ran = true
+	return t
+}
+
+// warmCaches applies the §3.1 on-path pointer deposits of one
+// steady-state stabilize round: every router a control message
+// transits learns the sender's pointer ("we fill pointer caches only
+// with contents of control messages"). The sharded run itself deposits
+// only at endpoint routers — transit routers belong to other shards,
+// and depositing there would break the caches' shard privacy — so the
+// on-path deposits are replayed here in one serial pass, in member
+// handle order, which is deterministic and shard-count invariant.
+// joinResidueDeposits approximates the transit-router count of one
+// greedy join walk: the routers a random joiner's control traffic
+// crossed, each of which cached the joiner's pointer.
+const joinResidueDeposits = 32
+
+func (r *CompactRing) warmCaches() {
+	for u := 0; u < r.members; u++ {
+		if r.nsucc[u] == 0 {
+			continue
+		}
+		s0 := r.succs[u*r.cfg.SuccessorGroup]
+		// One stabilize round-trip: u's cmGetSucc toward succ0, then the
+		// cmSuccList reply — each deposits its sender along the path.
+		r.depositAlong(r.router[u], r.router[s0], ident.Handle(u))
+		r.depositAlong(r.router[s0], r.router[u], s0)
+	}
+	// Join-epoch residue. The ring is constructed already wired (each
+	// member knows succ0), so the event run never replays the join walks
+	// that, in Network, deposit every joiner's pointer across the
+	// routers its greedy walk transits. A random joiner's transit set is
+	// an essentially uniform router sample, so the residue is
+	// reconstructed from a seeded stream: without it, caches hold only
+	// ring-neighbor pointers and stretch collapses to successor
+	// stepping. Serial, member order, shard-count invariant.
+	for u := 0; u < r.members; u++ {
+		st := uint64(r.cfg.Seed)<<20 ^ uint64(u)*0x9e3779b97f4a7c15
+		for t := 0; t < joinResidueDeposits; t++ {
+			r.cacheInsert(uint32(sim.SplitMix64(&st)%uint64(r.nrouters)), ident.Handle(u))
+		}
+	}
+}
+
+// depositAlong inserts h into the cache of every router the a→b
+// shortest path transits (excluding the origin, matching Network.hop).
+func (r *CompactRing) depositAlong(a, b uint32, h ident.Handle) {
+	if a == b {
+		return
+	}
+	path := r.ls.Path(topology.NodeID(a), topology.NodeID(b))
+	for _, node := range path[1:] {
+		r.cacheInsert(uint32(node), h)
+	}
+}
+
+// HandleMsg dispatches one protocol event. It is the allocation-free
+// event hot path of the compact ring: everything it reaches operates on
+// pre-sized slabs and value messages.
+//
+//rofllint:hotpath
+func (r *CompactRing) HandleMsg(sc *sim.ShardContext, m sim.Msg) {
+	switch m.Kind {
+	case cmTimer:
+		r.onTimer(sc, m)
+	case cmGetSucc:
+		r.onGetSucc(sc, m)
+	case cmSuccList:
+		r.onSuccList(sc, m)
+	}
+}
+
+// chargeControl counts one control message's physical hops and returns
+// its one-way latency as the event delay.
+func (r *CompactRing) chargeControl(sc *sim.ShardContext, from, to ident.Handle) sim.Time {
+	a, b := int(r.router[from]), int(r.router[to])
+	sc.Metrics.Count(MsgCompactControl, int64(r.hopM[a*r.nrouters+b]))
+	return sim.Time(r.latM[a*r.nrouters+b])
+}
+
+// onTimer runs one stabilize round at node u: ask the immediate
+// successor for its successor list.
+func (r *CompactRing) onTimer(sc *sim.ShardContext, m sim.Msg) {
+	u := ident.Handle(m.Dst)
+	if r.nsucc[u] == 0 {
+		return // singleton ring: nothing to stabilize
+	}
+	s0 := r.succs[int(u)*r.cfg.SuccessorGroup]
+	d := r.chargeControl(sc, u, s0)
+	sc.Send(d, sim.Msg{Src: uint32(u), Dst: uint32(s0), Kind: cmGetSucc})
+}
+
+// onGetSucc serves a successor-list request at node v: adopt the
+// requester as predecessor if it is closer, fill the local router's
+// cache with the sender pointer (control traffic fills caches, §3.1),
+// and reply with the successor group.
+func (r *CompactRing) onGetSucc(sc *sim.ShardContext, m sim.Msg) {
+	v, u := ident.Handle(m.Dst), ident.Handle(m.Src)
+	r.cacheInsert(r.router[v], u)
+	p := r.pred[v]
+	if p == ident.NoHandle || ident.BetweenOpen(r.ids[u], r.ids[p], r.ids[v]) {
+		r.pred[v] = u
+		sc.Journal(CJPredAdopt, uint32(v), uint32(u), 0)
+	}
+	reply := sim.Msg{Src: uint32(v), Dst: uint32(u), Kind: cmSuccList}
+	base := int(v) * r.cfg.SuccessorGroup
+	for k := 0; k < len(reply.Args); k++ {
+		if k < int(r.nsucc[v]) {
+			reply.Args[k] = uint32(r.succs[base+k])
+		} else {
+			reply.Args[k] = uint32(ident.NoHandle)
+		}
+	}
+	d := r.chargeControl(sc, v, u)
+	sc.Send(d, reply)
+}
+
+// onSuccList merges an advertised successor group into node u's own,
+// updates the stability counter, and reschedules the stabilize timer
+// until two consecutive rounds change nothing.
+func (r *CompactRing) onSuccList(sc *sim.ShardContext, m sim.Msg) {
+	u, v := ident.Handle(m.Dst), ident.Handle(m.Src)
+	r.cacheInsert(r.router[u], v)
+
+	// Candidate pool: current group, the replying successor, and its
+	// advertised group — at most 4+1+4 handles, in fixed storage.
+	var cand [2*MaxCompactSuccessors + 1]ident.Handle
+	nc := 0
+	base := int(u) * r.cfg.SuccessorGroup
+	for k := 0; k < int(r.nsucc[u]); k++ {
+		cand[nc] = r.succs[base+k]
+		nc++
+	}
+	nc = r.addCandidate(cand[:], nc, u, v)
+	for _, a := range m.Args {
+		nc = r.addCandidate(cand[:], nc, u, ident.Handle(a))
+	}
+
+	// Selection-sort the pool by clockwise distance from u and keep the
+	// nearest SuccessorGroup entries.
+	uid := r.ids[u]
+	for i := 0; i < nc-1; i++ {
+		min := i
+		for j := i + 1; j < nc; j++ {
+			if uid.Distance(r.ids[cand[j]]).Cmp(uid.Distance(r.ids[cand[min]])) < 0 {
+				min = j
+			}
+		}
+		cand[i], cand[min] = cand[min], cand[i]
+	}
+	keep := nc
+	if keep > r.cfg.SuccessorGroup {
+		keep = r.cfg.SuccessorGroup
+	}
+	changed := keep != int(r.nsucc[u])
+	for k := 0; k < keep; k++ {
+		if r.succs[base+k] != cand[k] {
+			changed = true
+			r.succs[base+k] = cand[k]
+		}
+	}
+	r.nsucc[u] = uint8(keep)
+
+	if changed {
+		r.stable[u] = 0
+		sc.Journal(CJSuccAdopt, uint32(u), uint32(v), uint32(keep))
+	} else if r.stable[u] < 2 {
+		r.stable[u]++
+	}
+	if r.stable[u] < 2 {
+		jitter := sim.Time(sim.SplitMix64(&r.rngs[u])%1024) / 1024 * r.cfg.StabilizeEvery
+		sc.Send(r.cfg.StabilizeEvery+jitter, sim.Msg{Src: uint32(u), Dst: uint32(u), Kind: cmTimer})
+	} else {
+		sc.Journal(CJStable, uint32(u), uint32(keep), 0)
+	}
+}
+
+// addCandidate appends c to the pool unless it is invalid, the owner
+// itself, an ephemeral (ephemerals cannot serve as successors, §2.2),
+// or already present. Returns the new pool size.
+func (r *CompactRing) addCandidate(pool []ident.Handle, n int, owner, c ident.Handle) int {
+	if c == ident.NoHandle || c == owner || int(c) >= r.members {
+		return n
+	}
+	for i := 0; i < n; i++ {
+		if pool[i] == c {
+			return n
+		}
+	}
+	pool[n] = c
+	return n + 1
+}
+
+// --- pointer cache over handles -------------------------------------------
+
+func (r *CompactRing) bucketOf(c *compactCache, id ident.ID) int {
+	return int(binary.BigEndian.Uint32(id[:4]) >> c.shift)
+}
+
+// cacheInsert records a member pointer in a router's cache (refresh on
+// duplicate, bucket-local LRU eviction at capacity). Insertion order at
+// any one cache is the (At, Src, Seq) processing order of its owning
+// shard, which is shard-count invariant — so cache contents are too.
+func (r *CompactRing) cacheInsert(router uint32, h ident.Handle) {
+	c := &r.caches[router]
+	if c.buckets == nil {
+		return
+	}
+	id := r.ids[h]
+	b := r.bucketOf(c, id)
+	bkt := c.buckets[b]
+	i := sort.Search(len(bkt), func(k int) bool { return !r.ids[bkt[k].h].Less(id) })
+	c.clock++
+	if i < len(bkt) && bkt[i].h == h {
+		bkt[i].stamp = c.clock
+		return
+	}
+	if len(bkt) >= c.bucketCap {
+		// Evict the oldest stamp in this bucket.
+		victim := 0
+		for k := 1; k < len(bkt); k++ {
+			if bkt[k].stamp < bkt[victim].stamp {
+				victim = k
+			}
+		}
+		copy(bkt[victim:], bkt[victim+1:])
+		bkt = bkt[:len(bkt)-1]
+		c.size--
+		if victim < i {
+			i--
+		}
+	}
+	bkt = append(bkt, cacheSlot{})
+	copy(bkt[i+1:], bkt[i:])
+	bkt[i] = cacheSlot{h: h, stamp: c.clock}
+	c.buckets[b] = bkt
+	c.size++
+}
+
+// cacheLookup returns the cached member closest to dst without
+// overshooting the current position, scanning at most a few buckets
+// counter-clockwise from dst's. Used by measurement probes (serial).
+func (r *CompactRing) cacheLookup(router uint32, pos, dst ident.ID) (ident.Handle, bool) {
+	c := &r.caches[router]
+	if c.buckets == nil || c.size == 0 {
+		return ident.NoHandle, false
+	}
+	nb := len(c.buckets)
+	b := r.bucketOf(c, dst)
+	const maxScan = 64
+	for step := 0; step < maxScan && step < nb; step++ {
+		bi := b - step
+		if bi < 0 {
+			bi += nb
+		}
+		bkt := c.buckets[bi]
+		if len(bkt) == 0 {
+			continue
+		}
+		var cand ident.Handle
+		if step == 0 {
+			// Largest cached ID <= dst within dst's own bucket; if the
+			// whole bucket is above dst, keep walking down.
+			i := sort.Search(len(bkt), func(k int) bool { return dst.Less(r.ids[bkt[k].h]) })
+			if i == 0 {
+				continue
+			}
+			cand = bkt[i-1].h
+		} else {
+			cand = bkt[len(bkt)-1].h
+		}
+		if !ident.Progress(pos, dst, r.ids[cand]) {
+			return ident.NoHandle, false
+		}
+		return cand, true
+	}
+	// Nothing at or below dst within the scan budget: wrap to the
+	// global maximum (circularly the closest candidate below dst).
+	for bi := nb - 1; bi >= 0; bi-- {
+		bkt := c.buckets[bi]
+		if len(bkt) == 0 {
+			continue
+		}
+		cand := bkt[len(bkt)-1].h
+		if ident.Progress(pos, dst, r.ids[cand]) {
+			return cand, true
+		}
+		return ident.NoHandle, false
+	}
+	return ident.NoHandle, false
+}
+
+// --- measurement probes (serial, post-convergence) ------------------------
+
+// ProbeResult reports one greedy measurement walk.
+type ProbeResult struct {
+	Delivered bool
+	Parked    bool // delivered over a parked source route (ephemeral)
+	RingSteps int  // greedy waypoints taken
+	PhysHops  int  // physical links traversed
+	Latency   float64
+	Stretch   float64 // traversed / direct latency (>= 1 when delivered)
+}
+
+// Probe greedily routes a data packet from member `from` toward dst —
+// successor pointers and the transit routers' handle caches supply the
+// candidates, exactly Algorithm 2 over compact state — and reports path
+// cost and stretch. Ephemeral destinations deliver over their
+// predecessor's packed source route.
+func (r *CompactRing) Probe(from ident.Handle, dst ident.ID) (ProbeResult, error) {
+	t, resident := r.intern.Lookup(dst)
+	res := ProbeResult{}
+	pos := from
+	cur := r.router[from]
+	for ttl := r.cfg.TTL; ttl > 0; ttl-- {
+		if resident && int(t) < r.members && r.router[t] == cur {
+			res.Delivered = true
+			r.finishProbe(&res, from, t)
+			return res, nil
+		}
+		best, ok := r.selectCompact(pos, cur, dst)
+		if !ok {
+			// Stuck: pos is dst's ring predecessor. An ephemeral
+			// destination is parked here with a source route.
+			if resident && int(t) >= r.members {
+				for e := r.parkedHead[pos]; e >= 0; e = r.parkedNext[e] {
+					if r.parkedChild[e] != t {
+						continue
+					}
+					res.PhysHops += int(r.routeLen[e]) - 1
+					res.Latency += float64(r.routeLat[e])
+					res.Delivered, res.Parked = true, true
+					r.finishProbe(&res, from, t)
+					return res, nil
+				}
+			}
+			return res, nil
+		}
+		nr := r.router[best]
+		res.RingSteps++
+		res.PhysHops += int(r.hopM[int(cur)*r.nrouters+int(nr)])
+		res.Latency += float64(r.latM[int(cur)*r.nrouters+int(nr)])
+		pos, cur = best, nr
+	}
+	return res, ErrTTLExceeded
+}
+
+// finishProbe computes stretch against the direct physical latency and
+// samples it.
+func (r *CompactRing) finishProbe(res *ProbeResult, from, to ident.Handle) {
+	direct := float64(r.latM[int(r.router[from])*r.nrouters+int(r.router[to])])
+	if direct <= 0 || res.Latency <= direct {
+		res.Stretch = 1
+	} else {
+		res.Stretch = res.Latency / direct
+	}
+	r.probeMx.Sample(SampleCompactStretch, res.Stretch)
+}
+
+// selectCompact picks the known candidate closest to dst without
+// overshooting: the position's successor group and predecessor, then
+// the current router's cache (cache wins only when strictly closer —
+// ring pointers are scanned first and ties keep the incumbent).
+func (r *CompactRing) selectCompact(pos ident.Handle, cur uint32, dst ident.ID) (ident.Handle, bool) {
+	posID := r.ids[pos]
+	best := ident.NoHandle
+	var bestDist ident.ID
+	consider := func(c ident.Handle) {
+		if c == ident.NoHandle || !ident.Progress(posID, dst, r.ids[c]) {
+			return
+		}
+		d := r.ids[c].Distance(dst)
+		if best == ident.NoHandle || d.Cmp(bestDist) < 0 {
+			best, bestDist = c, d
+		}
+	}
+	base := int(pos) * r.cfg.SuccessorGroup
+	for k := 0; k < int(r.nsucc[pos]); k++ {
+		consider(r.succs[base+k])
+	}
+	consider(r.pred[pos])
+	if ch, ok := r.cacheLookup(cur, posID, dst); ok {
+		r.probeMx.Count(CtrCompactCacheHit, 1)
+		consider(ch)
+	} else {
+		r.probeMx.Count(CtrCompactCacheMiss, 1)
+	}
+	return best, best != ident.NoHandle
+}
+
+// ProbeJoin measures the control cost of splicing a fresh identifier
+// into the converged ring from gateway member `from`, without mutating
+// it: the predecessor walk plus the reply/notify/ack legs of Algorithm
+// 1. Returns total physical messages.
+func (r *CompactRing) ProbeJoin(from ident.Handle, joining ident.ID) (int, error) {
+	pos := from
+	cur := r.router[from]
+	msgs := 0
+	for ttl := r.cfg.TTL; ttl > 0; ttl-- {
+		best, ok := r.selectCompact(pos, cur, joining)
+		if !ok {
+			// pos is the joining ID's predecessor; complete the splice
+			// legs: reply to the gateway, notify pos's successor, ack.
+			g := int(r.router[from])
+			p := int(r.router[pos])
+			msgs += int(r.hopM[p*r.nrouters+g])
+			if r.nsucc[pos] > 0 {
+				s0 := r.succs[int(pos)*r.cfg.SuccessorGroup]
+				sr := int(r.router[s0])
+				msgs += int(r.hopM[p*r.nrouters+sr])
+				msgs += int(r.hopM[sr*r.nrouters+g])
+			}
+			r.probeMx.Sample(SampleCompactJoinMsgs, float64(msgs))
+			return msgs, nil
+		}
+		nr := r.router[best]
+		msgs += int(r.hopM[int(cur)*r.nrouters+int(nr)])
+		pos, cur = best, nr
+	}
+	return msgs, ErrTTLExceeded
+}
+
+// --- accessors, accounting, journal ---------------------------------------
+
+// Members returns the number of stable ring members.
+func (r *CompactRing) Members() int { return r.members }
+
+// Ephemerals returns the number of parked ephemeral hosts.
+func (r *CompactRing) Ephemerals() int { return len(r.parkedChild) }
+
+// IDOf resolves a handle to its identifier.
+func (r *CompactRing) IDOf(h ident.Handle) ident.ID { return r.ids[h] }
+
+// RouterOf returns the hosting router of a handle.
+func (r *CompactRing) RouterOf(h ident.Handle) topology.NodeID {
+	return topology.NodeID(r.router[h])
+}
+
+// Succ returns member h's k-th successor handle (NoHandle past nsucc).
+func (r *CompactRing) Succ(h ident.Handle, k int) ident.Handle {
+	if k >= int(r.nsucc[h]) {
+		return ident.NoHandle
+	}
+	return r.succs[int(h)*r.cfg.SuccessorGroup+k]
+}
+
+// NumSucc returns the size of member h's successor group.
+func (r *CompactRing) NumSucc(h ident.Handle) int { return int(r.nsucc[h]) }
+
+// Pred returns member h's predecessor handle.
+func (r *CompactRing) Pred(h ident.Handle) ident.Handle { return r.pred[h] }
+
+// Metrics returns the merged convergence-phase metrics (valid after
+// Run).
+func (r *CompactRing) Metrics() sim.Metrics { return r.msgs }
+
+// ProbeMetrics returns the measurement-phase sink (stretch samples,
+// cache hit/miss counters, join-cost samples).
+func (r *CompactRing) ProbeMetrics() sim.Metrics { return r.probeMx }
+
+// Footprint itemizes resident memory by subsystem, in bytes. Slab
+// capacities are charged (what the process actually holds), and the
+// intern table is charged once — the whole point of storing 4-byte
+// handles everywhere else.
+type Footprint struct {
+	Hosts      int // members + ephemerals
+	RingState  int // successor/predecessor/router/flag slabs
+	Parked     int // parked entries + packed source routes
+	Caches     int // per-router bucketed caches (live slots)
+	Intern     int // ID slab + reverse map
+	RNG        int // per-node jitter states
+	CacheSlots int // live cache entries across all routers
+}
+
+// Total sums every accounted subsystem.
+func (f Footprint) Total() int {
+	return f.RingState + f.Parked + f.Caches + f.Intern + f.RNG
+}
+
+// RingBytesPerHost is the per-member routing-state cost — the Fig 6c
+// quantity the scaling study tracks against N.
+func (f Footprint) RingBytesPerHost(members int) float64 {
+	if members == 0 {
+		return 0
+	}
+	return float64(f.RingState) / float64(members)
+}
+
+// Footprint measures the ring's current memory by subsystem.
+func (r *CompactRing) Footprint() Footprint {
+	f := Footprint{Hosts: len(r.ids)}
+	f.RingState = cap(r.succs)*4 + cap(r.nsucc) + cap(r.pred)*4 + cap(r.router)*4 + cap(r.stable)
+	f.Parked = cap(r.parkedHead)*4 + cap(r.parkedNext)*4 + cap(r.parkedChild)*4 +
+		cap(r.routeOff)*4 + cap(r.routeLen)*2 + cap(r.routeLat)*4 + cap(r.routeSlab)*2
+	for i := range r.caches {
+		c := &r.caches[i]
+		f.CacheSlots += c.size
+		for _, b := range c.buckets {
+			f.Caches += cap(b) * 8
+		}
+	}
+	f.Intern = r.intern.Bytes()
+	f.RNG = cap(r.rngs) * 8
+	return f
+}
+
+// JournalText renders the convergence journal (enabled via
+// CompactConfig.Journal) in global processing order. The
+// shard-invariance test byte-compares this across shard counts.
+func (r *CompactRing) JournalText() string {
+	var b strings.Builder
+	for _, e := range r.eng.Journal() {
+		switch e.Kind {
+		case CJPredAdopt:
+			fmt.Fprintf(&b, "t=%.3f %s pred-adopt %s\n", float64(e.At), r.ids[e.Node].Short(), r.ids[e.A].Short())
+		case CJSuccAdopt:
+			fmt.Fprintf(&b, "t=%.3f %s succ-merge from=%s n=%d\n", float64(e.At), r.ids[e.Node].Short(), r.ids[e.A].Short(), e.B)
+		case CJStable:
+			fmt.Fprintf(&b, "t=%.3f %s stable n=%d\n", float64(e.At), r.ids[e.Node].Short(), e.A)
+		}
+	}
+	return b.String()
+}

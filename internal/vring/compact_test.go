@@ -1,0 +1,327 @@
+package vring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"rofl/internal/ident"
+	"rofl/internal/sim"
+	"rofl/internal/topology"
+)
+
+func compactTestISP() *topology.ISP {
+	cfg := topology.AS1221
+	cfg.Routers, cfg.PoPs, cfg.BackbonePerPoP, cfg.PoPDegree = 40, 4, 2, 3
+	return topology.GenISP(cfg)
+}
+
+func smallCompactConfig() CompactConfig {
+	cfg := DefaultCompactConfig()
+	cfg.Hosts = 400
+	cfg.EphemeralEvery = 20
+	cfg.CacheCapacity = 512
+	cfg.Seed = 7
+	return cfg
+}
+
+// compactState renders the complete post-run routing state of every
+// member in handle order — successor groups, predecessor, stability —
+// for byte-comparison across shard counts.
+func compactState(r *CompactRing) string {
+	var b strings.Builder
+	for h := 0; h < r.Members(); h++ {
+		fmt.Fprintf(&b, "%d:", h)
+		for k := 0; k < r.NumSucc(ident.Handle(h)); k++ {
+			fmt.Fprintf(&b, " s%d", r.Succ(ident.Handle(h), k))
+		}
+		fmt.Fprintf(&b, " p%d\n", r.Pred(ident.Handle(h)))
+	}
+	return b.String()
+}
+
+func compactMetricsTable(m sim.Metrics) string {
+	var b strings.Builder
+	for _, name := range m.CounterNames() {
+		fmt.Fprintf(&b, "ctr %s %d\n", name, m.Counter(name))
+	}
+	for _, name := range m.SampleNames() {
+		s := sim.Summarize(m.Samples(name))
+		fmt.Fprintf(&b, "smp %s n=%d p50=%.6f p99=%.6f\n", name, s.N, s.P50, s.P99)
+	}
+	return b.String()
+}
+
+// TestCompactRingConverges checks the stabilized ring against the
+// sorted-order oracle: every member's successor group must be exactly
+// the next SuccessorGroup members clockwise, and every predecessor the
+// true ring predecessor.
+func TestCompactRingConverges(t *testing.T) {
+	isp := compactTestISP()
+	cfg := smallCompactConfig()
+	cfg.Journal = true
+	r := NewCompactRing(isp, cfg)
+	end := r.Run()
+	if end <= 0 {
+		t.Fatal("run performed no virtual time")
+	}
+
+	m := r.Members()
+	sorted := make([]ident.Handle, m)
+	for i := range sorted {
+		sorted[i] = ident.Handle(i)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		return r.IDOf(sorted[i]).Less(r.IDOf(sorted[j]))
+	})
+	rank := make(map[ident.Handle]int, m)
+	for i, h := range sorted {
+		rank[h] = i
+	}
+	for _, h := range sorted {
+		i := rank[h]
+		want := cfg.SuccessorGroup
+		if want > m-1 {
+			want = m - 1
+		}
+		if got := r.NumSucc(h); got != want {
+			t.Fatalf("member %d has %d successors, want %d", h, got, want)
+		}
+		for k := 0; k < want; k++ {
+			if got, w := r.Succ(h, k), sorted[(i+1+k)%m]; got != w {
+				t.Fatalf("member %d successor[%d] = %d, want %d", h, k, got, w)
+			}
+		}
+		if got, w := r.Pred(h), sorted[(i-1+m)%m]; got != w {
+			t.Fatalf("member %d pred = %d, want %d", h, got, w)
+		}
+	}
+	if r.Metrics().Counter(MsgCompactControl) == 0 {
+		t.Fatal("convergence charged no control messages")
+	}
+	if !strings.Contains(r.JournalText(), "stable") {
+		t.Fatal("journal records no stable transitions")
+	}
+}
+
+// TestCompactShardInvariance is the PR-10 analogue of the cross-driver
+// journal gate: at a fixed seed, the rendered journal, the merged
+// metrics table, the complete final routing state, and the finish time
+// must be byte-identical for 1, 2, and 8 shards.
+func TestCompactShardInvariance(t *testing.T) {
+	isp := compactTestISP()
+	run := func(shards int) (string, string, string, sim.Time) {
+		cfg := smallCompactConfig()
+		cfg.Shards = shards
+		cfg.Journal = true
+		r := NewCompactRing(isp, cfg)
+		end := r.Run()
+		return r.JournalText(), compactMetricsTable(r.Metrics()), compactState(r), end
+	}
+	refJ, refM, refS, refEnd := run(1)
+	if len(refJ) == 0 {
+		t.Fatal("reference journal empty; invariance test is vacuous")
+	}
+	for _, shards := range []int{2, 8} {
+		j, m, s, end := run(shards)
+		if j != refJ {
+			t.Errorf("journal diverged at %d shards (lens %d vs %d)", shards, len(j), len(refJ))
+		}
+		if m != refM {
+			t.Errorf("metrics diverged at %d shards:\n%s\nvs\n%s", shards, m, refM)
+		}
+		if s != refS {
+			t.Errorf("final state diverged at %d shards", shards)
+		}
+		if end != refEnd {
+			t.Errorf("finish time diverged at %d shards: %v vs %v", shards, end, refEnd)
+		}
+	}
+}
+
+// TestCompactProbeDelivery routes probes between sampled member pairs
+// on a converged ring and requires delivery with sane stretch; probes
+// to ephemeral identifiers must deliver over their predecessor's parked
+// source route.
+func TestCompactProbeDelivery(t *testing.T) {
+	isp := compactTestISP()
+	cfg := smallCompactConfig()
+	r := NewCompactRing(isp, cfg)
+	r.Run()
+
+	state := uint64(99)
+	for i := 0; i < 500; i++ {
+		from := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		to := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		res, err := r.Probe(from, r.IDOf(to))
+		if err != nil {
+			t.Fatalf("probe %d->%d: %v", from, to, err)
+		}
+		if !res.Delivered {
+			t.Fatalf("probe %d->%d not delivered (stuck after %d steps)", from, to, res.RingSteps)
+		}
+		if res.Stretch < 1 {
+			t.Fatalf("probe %d->%d stretch %.3f < 1", from, to, res.Stretch)
+		}
+	}
+	if r.Ephemerals() == 0 {
+		t.Fatal("config produced no ephemerals")
+	}
+	for i := 0; i < r.Ephemerals(); i++ {
+		child := ident.Handle(r.Members() + i)
+		from := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		res, err := r.Probe(from, r.IDOf(child))
+		if err != nil {
+			t.Fatalf("ephemeral probe to %d: %v", child, err)
+		}
+		if !res.Delivered || !res.Parked {
+			t.Fatalf("ephemeral probe to %d: delivered=%v parked=%v, want both", child, res.Delivered, res.Parked)
+		}
+	}
+	pm := r.ProbeMetrics()
+	if pm.Counter(CtrCompactCacheHit) == 0 {
+		t.Error("probes never hit a pointer cache")
+	}
+	if len(pm.Samples(SampleCompactStretch)) == 0 {
+		t.Error("no stretch samples recorded")
+	}
+}
+
+// TestCompactProbeJoin measures splice cost on the converged ring and
+// checks the walk leaves the ring unmodified.
+func TestCompactProbeJoin(t *testing.T) {
+	isp := compactTestISP()
+	r := NewCompactRing(isp, smallCompactConfig())
+	r.Run()
+	before := compactState(r)
+	state := uint64(5)
+	for i := 0; i < 50; i++ {
+		from := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		j := ident.FromUint64(sim.SplitMix64(&state))
+		msgs, err := r.ProbeJoin(from, j)
+		if err != nil {
+			t.Fatalf("join probe %d: %v", i, err)
+		}
+		if msgs <= 0 {
+			t.Fatalf("join probe %d cost %d messages", i, msgs)
+		}
+	}
+	if compactState(r) != before {
+		t.Fatal("join probes mutated ring state")
+	}
+}
+
+// TestCompactFootprintBudget pins per-host memory at N=100k: ring state
+// must stay within a few dozen bytes per member (4-byte handles, not
+// 16-byte IDs) and the fully-accounted total — intern table, caches,
+// parked routes, RNG states — within a few hundred bytes per host. The
+// total is dominated by the fixed cache budget (318 routers x 8192
+// slots x 8 B ~ 208 B/host at this N), which warmCaches fills to
+// capacity; it amortizes away as N grows (SCALING.md: 107 B/host at
+// 1M). This is the budget the million-host run extrapolates from.
+func TestCompactFootprintBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-host build in -short mode")
+	}
+	isp := topology.GenISP(topology.AS1221)
+	cfg := DefaultCompactConfig()
+	cfg.Hosts = 100000
+	cfg.EphemeralEvery = 100
+	cfg.Seed = 3
+	r := NewCompactRing(isp, cfg)
+	r.Run()
+
+	f := r.Footprint()
+	perMember := f.RingBytesPerHost(r.Members())
+	// succs 3*4 + pred 4 + router 4 + nsucc 1 + stable 1 = 22 B/member.
+	if perMember > 32 {
+		t.Errorf("ring state %.1f B/member, budget 32", perMember)
+	}
+	totalPerHost := float64(f.Total()) / float64(f.Hosts)
+	if totalPerHost > 350 {
+		t.Errorf("total footprint %.1f B/host, budget 350", totalPerHost)
+	}
+	if f.Intern == 0 || f.Caches == 0 || f.RNG == 0 {
+		t.Errorf("footprint accounting has zero subsystems: %+v", f)
+	}
+
+	// Spot-check convergence at this scale without the full oracle.
+	state := uint64(11)
+	for i := 0; i < 50; i++ {
+		from := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		to := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		res, err := r.Probe(from, r.IDOf(to))
+		if err != nil || !res.Delivered {
+			t.Fatalf("probe %d->%d at 100k: delivered=%v err=%v", from, to, res.Delivered, err)
+		}
+	}
+}
+
+// TestCompactCacheEviction fills one router's cache past capacity and
+// checks it stays bounded while remaining able to answer lookups.
+func TestCompactCacheEviction(t *testing.T) {
+	isp := compactTestISP()
+	cfg := smallCompactConfig()
+	cfg.Hosts = 2000
+	cfg.CacheCapacity = 64
+	r := NewCompactRing(isp, cfg)
+	for h := 0; h < r.Members(); h++ {
+		r.cacheInsert(0, ident.Handle(h))
+	}
+	c := &r.caches[0]
+	budget := c.bucketCap * len(c.buckets)
+	if c.size > budget {
+		t.Fatalf("cache holds %d entries, budget %d", c.size, budget)
+	}
+	if c.size == 0 {
+		t.Fatal("cache empty after inserts")
+	}
+	hits := 0
+	state := uint64(17)
+	for i := 0; i < 200; i++ {
+		pos := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		dst := ident.FromUint64(sim.SplitMix64(&state))
+		if _, ok := r.cacheLookup(0, r.IDOf(pos), dst); ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no lookup ever found a cached candidate")
+	}
+}
+
+// BenchmarkCompactConverge measures building and converging a compact
+// sharded ring end to end — the cost `roflsim -fig scaling` pays per
+// sweep point before probing.
+func BenchmarkCompactConverge(b *testing.B) {
+	isp := compactTestISP()
+	cfg := smallCompactConfig()
+	cfg.Hosts = 2000
+	cfg.Shards = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewCompactRing(isp, cfg)
+		r.Run()
+	}
+}
+
+// BenchmarkCompactProbe measures one greedy data-plane walk over a
+// converged compact ring with warm caches.
+func BenchmarkCompactProbe(b *testing.B) {
+	isp := compactTestISP()
+	cfg := smallCompactConfig()
+	cfg.Hosts = 2000
+	r := NewCompactRing(isp, cfg)
+	r.Run()
+	state := uint64(99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		to := ident.Handle(sim.SplitMix64(&state) % uint64(r.Members()))
+		if _, err := r.Probe(from, r.IDOf(to)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

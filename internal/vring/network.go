@@ -7,6 +7,14 @@
 // bounded pointer cache second; and failures — host, router, link,
 // partition — are repaired with teardowns, failover and zero-node driven
 // ring merging (§3.2).
+//
+// Two ring implementations share that design. Network (network.go) is
+// the full-fidelity simulator behind the paper's figures: per-node heap
+// objects, rich failure machinery, journaled repairs. CompactRing
+// (compact.go) is the million-host variant: interned uint32 handles,
+// struct-of-arrays state, slab-allocated events on sim.ShardedEngine —
+// ~22 bytes of ring state per member, converging 1M hosts on one
+// machine. SCALING.md documents the scaling study built on it.
 package vring
 
 import (

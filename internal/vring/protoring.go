@@ -24,17 +24,18 @@ type ProtoRing struct {
 	eng     *sim.Engine
 	latency sim.Time
 	journal *proto.Journal
+	intern  *ident.Intern
 	slots   []*protoSlot
-	byAddr  map[string]*protoSlot
 	// acts is the one Actions buffer every transition reuses; dispatch
 	// drains it (marshaling sends into independent byte slices) before
 	// the next transition runs.
 	acts proto.Actions
 }
 
-// protoSlot is one node position. The identity and address are permanent
-// across kill/restart cycles; the core is per-incarnation, nil while
-// killed.
+// protoSlot is one node position. The identity is permanent across
+// kill/restart cycles and its interned handle doubles as the slot index
+// and the fabric address (proto.HandleAddr); the core is
+// per-incarnation, nil while killed.
 type protoSlot struct {
 	index int
 	id    ident.ID
@@ -53,22 +54,30 @@ func NewProtoRing(eng *sim.Engine, latency sim.Time, journal *proto.Journal) *Pr
 		eng:     eng,
 		latency: latency,
 		journal: journal,
-		byAddr:  make(map[string]*protoSlot),
+		intern:  ident.NewIntern(),
 	}
 }
 
-// AddNode attaches a node with the given identity at a unique fabric
-// address and returns its slot index. The core's sampling seed derives
-// from the identity, exactly as the overlay driver derives it.
-func (r *ProtoRing) AddNode(id ident.ID, addr string) int {
+// AddNode attaches a node with the given identity and returns its slot
+// index — the identity's dense intern handle, which also derives the
+// node's fabric address. Addresses never appear in the journal, so runs
+// remain byte-comparable against drivers with transport-assigned
+// addresses. The core's sampling seed derives from the identity,
+// exactly as the overlay driver derives it. Adding the same identity
+// twice panics: a slot's handle must stay unique.
+func (r *ProtoRing) AddNode(id ident.ID) int {
+	h := r.intern.Handle(id)
+	if int(h) != len(r.slots) {
+		panic("vring: ProtoRing.AddNode called twice with one identity")
+	}
+	addr := proto.HandleAddr(h)
 	s := &protoSlot{
-		index: len(r.slots),
+		index: int(h),
 		id:    id,
 		addr:  addr,
 		core:  proto.New(proto.Config{ID: id, Addr: addr}),
 	}
 	r.slots = append(r.slots, s)
-	r.byAddr[addr] = s
 	return s.index
 }
 
@@ -180,9 +189,13 @@ func (r *ProtoRing) dispatch(s *protoSlot) {
 // cascade of actions it triggers dispatches recursively through the
 // engine.
 func (r *ProtoRing) deliver(to, from string, buf []byte) {
-	dst, ok := r.byAddr[to]
-	if !ok || dst.core == nil {
-		return // crashed or unknown destination: dropped like UDP
+	h, ok := proto.ParseHandleAddr(to)
+	if !ok || int(h) >= len(r.slots) {
+		return // unknown destination: dropped like UDP
+	}
+	dst := r.slots[h]
+	if dst.core == nil {
+		return // crashed destination: dropped like UDP
 	}
 	var pkt wire.Packet
 	if err := pkt.DecodeFromBytes(buf); err != nil {
